@@ -1,0 +1,82 @@
+"""TLA+-style specification and model-checking substrate (TLC substitute).
+
+This package is the reproduction's replacement for the TLA+ tool chain the
+paper uses (the TLA+ language plus the TLC model checker).  Specifications
+are written as plain Python (variables, actions, invariants); the
+:class:`~repro.tla.checker.ModelChecker` enumerates the reachable state space
+breadth-first exactly as TLC does, the :mod:`~repro.tla.trace` module checks
+recorded implementation traces against a specification (MBTC), and the
+:mod:`~repro.tla.dot` module exports the state graph for model-based
+test-case generation (MBTCG).
+"""
+
+from .checker import CheckResult, ModelChecker, check_spec
+from .coverage import CoverageReport, coverage_of_trace, merge_reports
+from .dot import ParsedStateGraph, parse_dot, to_dot
+from .errors import (
+    CheckerError,
+    DeadlockError,
+    EvaluationError,
+    InvariantViolation,
+    LivenessViolation,
+    NonTerminationError,
+    PropertyViolation,
+    ReproError,
+    SpecError,
+    StateSpaceLimitExceeded,
+    TraceCheckError,
+    TraceInitialStateMismatch,
+    TraceMismatch,
+)
+from .graph import Edge, PropertyCheckOutcome, StateGraph
+from .spec import Action, Invariant, Specification, TemporalProperty, action, invariant
+from .state import State, VariableSchema
+from .trace import TraceCheckResult, check_partial_trace, check_trace
+from .values import NULL, Record, append, fingerprint, freeze, last, sub_seq, thaw
+
+__all__ = [
+    "NULL",
+    "Action",
+    "CheckResult",
+    "CheckerError",
+    "CoverageReport",
+    "DeadlockError",
+    "Edge",
+    "EvaluationError",
+    "Invariant",
+    "InvariantViolation",
+    "LivenessViolation",
+    "ModelChecker",
+    "NonTerminationError",
+    "ParsedStateGraph",
+    "PropertyCheckOutcome",
+    "PropertyViolation",
+    "Record",
+    "ReproError",
+    "Specification",
+    "SpecError",
+    "State",
+    "StateGraph",
+    "StateSpaceLimitExceeded",
+    "TemporalProperty",
+    "TraceCheckError",
+    "TraceCheckResult",
+    "TraceInitialStateMismatch",
+    "TraceMismatch",
+    "VariableSchema",
+    "action",
+    "append",
+    "check_partial_trace",
+    "check_spec",
+    "check_trace",
+    "coverage_of_trace",
+    "fingerprint",
+    "freeze",
+    "invariant",
+    "last",
+    "merge_reports",
+    "parse_dot",
+    "sub_seq",
+    "thaw",
+    "to_dot",
+]

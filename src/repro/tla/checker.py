@@ -1,0 +1,265 @@
+"""Explicit-state model checker: the library's TLC substitute.
+
+The checker does what the paper relies on TLC for:
+
+* exhaustive breadth-first enumeration of the reachable state space under a
+  state constraint (``CONSTRAINT`` in a TLC config),
+* invariant checking with counterexample behaviours,
+* optional deadlock detection,
+* temporal-property ("eventually") checking over the state graph,
+* statistics (distinct states, generated states, diameter) matching the
+  numbers TLC prints and which the paper quotes (42,034 and 371,368 states
+  for the two RaftMongo variants), and
+* optional retention of the full state graph, which MBTCG consumes.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .errors import (
+    DeadlockError,
+    InvariantViolation,
+    LivenessViolation,
+    StateSpaceLimitExceeded,
+)
+from .graph import PropertyCheckOutcome, StateGraph
+from .spec import Specification
+from .state import State
+
+__all__ = ["CheckResult", "ModelChecker", "check_spec"]
+
+
+@dataclass
+class CheckResult:
+    """Outcome and statistics of one model-checking run."""
+
+    spec_name: str
+    distinct_states: int = 0
+    generated_states: int = 0
+    max_depth: int = 0
+    duration_seconds: float = 0.0
+    action_counts: Dict[str, int] = field(default_factory=dict)
+    invariant_violation: Optional[InvariantViolation] = None
+    deadlock: Optional[DeadlockError] = None
+    property_outcomes: List[PropertyCheckOutcome] = field(default_factory=list)
+    graph: Optional[StateGraph] = None
+    truncated: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when no invariant, deadlock or property violation was found."""
+        if self.invariant_violation is not None or self.deadlock is not None:
+            return False
+        return all(outcome.holds for outcome in self.property_outcomes)
+
+    def summary(self) -> str:
+        """One-line human-readable summary, similar to TLC's final output."""
+        status = "OK" if self.ok else "VIOLATION"
+        return (
+            f"{self.spec_name}: {status}; {self.distinct_states} distinct states, "
+            f"{self.generated_states} states generated, depth {self.max_depth}, "
+            f"{self.duration_seconds:.2f}s"
+        )
+
+
+class ModelChecker:
+    """Breadth-first explicit-state model checker for a :class:`Specification`."""
+
+    def __init__(
+        self,
+        spec: Specification,
+        *,
+        collect_graph: bool = False,
+        check_deadlock: bool = False,
+        check_properties: bool = True,
+        max_states: Optional[int] = None,
+        max_depth: Optional[int] = None,
+        stop_on_violation: bool = True,
+    ) -> None:
+        self.spec = spec
+        self.check_properties = check_properties
+        # Temporal properties are checked on the state graph, so requesting
+        # them implies collecting it.  Large runs (the paper-scale RaftMongo
+        # configuration) can disable property checking to save memory.
+        self.collect_graph = collect_graph or (check_properties and bool(spec.properties))
+        self.check_deadlock = check_deadlock
+        self.max_states = max_states
+        self.max_depth = max_depth
+        self.stop_on_violation = stop_on_violation
+
+    # ------------------------------------------------------------------------------
+    def run(self) -> CheckResult:
+        """Explore the reachable state space and return a :class:`CheckResult`."""
+        spec = self.spec
+        result = CheckResult(spec_name=spec.name)
+        started = time.perf_counter()
+
+        graph = StateGraph() if self.collect_graph else None
+        discovered: Dict[State, int] = {}
+        parents: Dict[int, Tuple[Optional[int], Optional[str]]] = {}
+        depths: Dict[int, int] = {}
+        queue: deque[State] = deque()
+        action_counts: Dict[str, int] = {act.name: 0 for act in spec.actions}
+
+        def intern(state: State, *, initial: bool) -> Tuple[int, bool]:
+            """Register a state; return (id, is_new)."""
+            existing = discovered.get(state)
+            if existing is not None:
+                if graph is not None and initial:
+                    graph.add_state(state, initial=True)
+                return existing, False
+            new_id = len(discovered)
+            discovered[state] = new_id
+            if graph is not None:
+                graph.add_state(state, initial=initial)
+            return new_id, True
+
+        def record_violation(state_id: int, inv_name: str) -> InvariantViolation:
+            trace = self._reconstruct_trace(state_id, parents, discovered)
+            return InvariantViolation(
+                f"invariant {inv_name!r} violated by specification {spec.name!r}",
+                property_name=inv_name,
+                trace=trace,
+            )
+
+        # Initial states --------------------------------------------------------
+        for state in spec.initial_states():
+            result.generated_states += 1
+            state_id, is_new = intern(state, initial=True)
+            if not is_new:
+                continue
+            parents[state_id] = (None, None)
+            depths[state_id] = 0
+            violated = spec.violated_invariant(state)
+            if violated is not None:
+                result.invariant_violation = record_violation(state_id, violated.name)
+                if self.stop_on_violation:
+                    result.distinct_states = len(discovered)
+                    result.duration_seconds = time.perf_counter() - started
+                    result.action_counts = action_counts
+                    result.graph = graph
+                    return result
+            if spec.within_constraint(state):
+                queue.append(state)
+
+        # Breadth-first exploration ------------------------------------------------
+        while queue:
+            if self.max_states is not None and len(discovered) >= self.max_states:
+                result.truncated = True
+                break
+            state = queue.popleft()
+            state_id = discovered[state]
+            depth = depths[state_id]
+            if self.max_depth is not None and depth >= self.max_depth:
+                result.truncated = True
+                continue
+            successors = spec.successors(state)
+            if not successors and self.check_deadlock:
+                trace = self._reconstruct_trace(state_id, parents, discovered)
+                result.deadlock = DeadlockError(
+                    f"deadlock reached in specification {spec.name!r}", trace=trace
+                )
+                if self.stop_on_violation:
+                    break
+            for action_name, nxt in successors:
+                result.generated_states += 1
+                action_counts[action_name] += 1
+                next_id, is_new = intern(nxt, initial=False)
+                if graph is not None:
+                    graph.add_edge(state_id, action_name, next_id)
+                if not is_new:
+                    continue
+                parents[next_id] = (state_id, action_name)
+                depths[next_id] = depth + 1
+                result.max_depth = max(result.max_depth, depth + 1)
+                violated = spec.violated_invariant(nxt)
+                if violated is not None:
+                    result.invariant_violation = record_violation(next_id, violated.name)
+                    if self.stop_on_violation:
+                        queue.clear()
+                        break
+                if spec.within_constraint(nxt):
+                    queue.append(nxt)
+
+        # Temporal properties -------------------------------------------------------
+        if (
+            graph is not None
+            and self.check_properties
+            and spec.properties
+            and result.invariant_violation is None
+            and not result.truncated
+        ):
+            for prop in spec.properties:
+                result.property_outcomes.append(graph.check_property(prop))
+
+        result.distinct_states = len(discovered)
+        result.duration_seconds = time.perf_counter() - started
+        result.action_counts = action_counts
+        result.graph = graph
+        return result
+
+    # ------------------------------------------------------------------------------
+    @staticmethod
+    def _reconstruct_trace(
+        state_id: int,
+        parents: Dict[int, Tuple[Optional[int], Optional[str]]],
+        discovered: Dict[State, int],
+    ) -> List[State]:
+        """Walk parent pointers back to an initial state to build a behaviour."""
+        by_id = {identifier: state for state, identifier in discovered.items()}
+        trace: List[State] = []
+        current: Optional[int] = state_id
+        while current is not None:
+            trace.append(by_id[current])
+            parent, _action = parents.get(current, (None, None))
+            current = parent
+        trace.reverse()
+        return trace
+
+
+def check_spec(
+    spec: Specification,
+    *,
+    collect_graph: bool = False,
+    check_deadlock: bool = False,
+    check_properties: bool = True,
+    max_states: Optional[int] = None,
+    max_depth: Optional[int] = None,
+    raise_on_violation: bool = False,
+) -> CheckResult:
+    """Convenience wrapper: build a checker, run it, optionally raise.
+
+    With ``raise_on_violation=True`` the helper raises the recorded
+    :class:`InvariantViolation`, :class:`DeadlockError` or
+    :class:`LivenessViolation`, mimicking how TLC aborts with an error trace.
+    """
+    checker = ModelChecker(
+        spec,
+        collect_graph=collect_graph,
+        check_deadlock=check_deadlock,
+        check_properties=check_properties,
+        max_states=max_states,
+        max_depth=max_depth,
+    )
+    result = checker.run()
+    if raise_on_violation:
+        if result.invariant_violation is not None:
+            raise result.invariant_violation
+        if result.deadlock is not None:
+            raise result.deadlock
+        for outcome in result.property_outcomes:
+            if not outcome.holds:
+                raise LivenessViolation(
+                    f"temporal property {outcome.property_name!r} violated: "
+                    f"{outcome.explanation}",
+                    property_name=outcome.property_name,
+                )
+        if result.truncated and max_states is not None:
+            raise StateSpaceLimitExceeded(
+                f"exploration of {spec.name!r} was truncated at {result.distinct_states} states"
+            )
+    return result

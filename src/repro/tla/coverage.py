@@ -1,0 +1,138 @@
+"""State-space coverage accounting for trace checking.
+
+Paper Section 4.2.4 lists a missing TLC feature: "the ability to combine
+state-space coverage reports over multiple TLC executions on different
+traces, which would permit engineers to calculate the total coverage achieved
+by deploying MBTC to continuous integration."  This module provides exactly
+that: per-trace coverage reports keyed by stable state fingerprints, a merge
+operation, and JSON (de)serialization so reports can be accumulated across
+processes or CI tasks.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Set
+
+from .graph import StateGraph
+from .spec import Specification
+from .state import State
+
+__all__ = ["CoverageReport", "coverage_of_trace", "merge_reports"]
+
+
+@dataclass
+class CoverageReport:
+    """Which reachable states (and actions) a set of traces has exercised."""
+
+    spec_name: str
+    visited_fingerprints: Set[int] = field(default_factory=set)
+    action_counts: Dict[str, int] = field(default_factory=dict)
+    reachable_count: Optional[int] = None
+    trace_count: int = 0
+
+    # Metrics -------------------------------------------------------------------
+    @property
+    def visited_count(self) -> int:
+        return len(self.visited_fingerprints)
+
+    def state_fraction(self) -> Optional[float]:
+        """Fraction of the reachable state space visited, if the total is known."""
+        if not self.reachable_count:
+            return None
+        return self.visited_count / self.reachable_count
+
+    def action_coverage(self, all_actions: Sequence[str]) -> Dict[str, bool]:
+        """Which actions were exercised at least once by the covered traces."""
+        return {name: self.action_counts.get(name, 0) > 0 for name in all_actions}
+
+    # Combination ------------------------------------------------------------------
+    def merge(self, other: "CoverageReport") -> "CoverageReport":
+        """Combine two reports for the same specification (set union)."""
+        if other.spec_name != self.spec_name:
+            raise ValueError(
+                f"cannot merge coverage of {other.spec_name!r} into {self.spec_name!r}"
+            )
+        merged_actions = dict(self.action_counts)
+        for name, count in other.action_counts.items():
+            merged_actions[name] = merged_actions.get(name, 0) + count
+        return CoverageReport(
+            spec_name=self.spec_name,
+            visited_fingerprints=self.visited_fingerprints | other.visited_fingerprints,
+            action_counts=merged_actions,
+            reachable_count=self.reachable_count or other.reachable_count,
+            trace_count=self.trace_count + other.trace_count,
+        )
+
+    # Serialization -------------------------------------------------------------------
+    def to_json(self) -> str:
+        payload: Dict[str, Any] = {
+            "spec_name": self.spec_name,
+            "visited_fingerprints": sorted(self.visited_fingerprints),
+            "action_counts": self.action_counts,
+            "reachable_count": self.reachable_count,
+            "trace_count": self.trace_count,
+        }
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CoverageReport":
+        payload = json.loads(text)
+        return cls(
+            spec_name=payload["spec_name"],
+            visited_fingerprints=set(payload["visited_fingerprints"]),
+            action_counts=dict(payload["action_counts"]),
+            reachable_count=payload.get("reachable_count"),
+            trace_count=payload.get("trace_count", 0),
+        )
+
+    def summary(self) -> str:
+        fraction = self.state_fraction()
+        fraction_text = f"{fraction:.1%}" if fraction is not None else "unknown fraction"
+        return (
+            f"{self.spec_name}: {self.visited_count} states covered by "
+            f"{self.trace_count} trace(s) ({fraction_text} of reachable space)"
+        )
+
+
+def coverage_of_trace(
+    spec: Specification,
+    trace_states: Sequence[State | Mapping[str, Any]],
+    *,
+    matched_actions: Sequence[Optional[str]] = (),
+    graph: Optional[StateGraph] = None,
+) -> CoverageReport:
+    """Build a coverage report from one checked trace.
+
+    ``matched_actions`` is the per-step action attribution that
+    :func:`repro.tla.trace.check_trace` returns; it lets the report count how
+    often each specification action was witnessed by the implementation.
+    """
+    fingerprints: Set[int] = set()
+    for item in trace_states:
+        state = item if isinstance(item, State) else spec.make_state(**item)
+        fingerprints.add(state.fingerprint())
+    action_counts: Dict[str, int] = {}
+    for name in matched_actions:
+        if name and name != "<stutter>":
+            action_counts[name] = action_counts.get(name, 0) + 1
+    return CoverageReport(
+        spec_name=spec.name,
+        visited_fingerprints=fingerprints,
+        action_counts=action_counts,
+        reachable_count=len(graph) if graph is not None else None,
+        trace_count=1,
+    )
+
+
+def merge_reports(reports: Iterable[CoverageReport]) -> CoverageReport:
+    """Fold any number of coverage reports for one spec into a single report."""
+    iterator = iter(reports)
+    try:
+        merged = next(iterator)
+    except StopIteration:
+        raise ValueError("merge_reports() requires at least one report") from None
+    for report in iterator:
+        merged = merged.merge(report)
+    return merged

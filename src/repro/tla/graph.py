@@ -1,0 +1,232 @@
+"""Reachable-state graphs and simple liveness checking.
+
+TLC can export the graph of all reachable states to a GraphViz DOT file; the
+Realm Sync case study parses that file to generate test cases (paper Section
+5.2).  :class:`StateGraph` is the in-memory representation of that graph.  It
+also supports the condensation-based "eventually" checks used to validate
+RaftMongo's temporal property ("the commit point is eventually propagated").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from .errors import SpecError
+from .spec import TemporalProperty
+from .state import State
+
+__all__ = ["Edge", "StateGraph", "PropertyCheckOutcome"]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A labelled transition between two states (by node id)."""
+
+    source: int
+    action: str
+    target: int
+
+
+@dataclass(frozen=True)
+class PropertyCheckOutcome:
+    """Result of checking one temporal property against a state graph."""
+
+    property_name: str
+    holds: bool
+    explanation: str = ""
+
+
+class StateGraph:
+    """The graph of reachable states discovered by the model checker."""
+
+    def __init__(self) -> None:
+        self._states: List[State] = []
+        self._ids: Dict[State, int] = {}
+        self._edges: List[Edge] = []
+        self._outgoing: Dict[int, List[Edge]] = defaultdict(list)
+        self._initial: List[int] = []
+
+    # Construction -------------------------------------------------------------
+    def add_state(self, state: State, *, initial: bool = False) -> int:
+        """Intern ``state`` and return its node id."""
+        node_id = self._ids.get(state)
+        if node_id is None:
+            node_id = len(self._states)
+            self._states.append(state)
+            self._ids[state] = node_id
+        if initial and node_id not in self._initial:
+            self._initial.append(node_id)
+        return node_id
+
+    def add_edge(self, source: int, action: str, target: int) -> None:
+        edge = Edge(source, action, target)
+        self._edges.append(edge)
+        self._outgoing[source].append(edge)
+
+    # Accessors ------------------------------------------------------------------
+    @property
+    def initial_ids(self) -> Tuple[int, ...]:
+        return tuple(self._initial)
+
+    def state_of(self, node_id: int) -> State:
+        return self._states[node_id]
+
+    def id_of(self, state: State) -> int:
+        try:
+            return self._ids[state]
+        except KeyError:
+            raise SpecError("state is not part of this graph") from None
+
+    def __contains__(self, state: object) -> bool:
+        return isinstance(state, State) and state in self._ids
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        return tuple(self._edges)
+
+    def states(self) -> Iterator[State]:
+        return iter(self._states)
+
+    def outgoing(self, node_id: int) -> Sequence[Edge]:
+        return tuple(self._outgoing.get(node_id, ()))
+
+    def successors_of(self, node_id: int) -> List[int]:
+        return [edge.target for edge in self._outgoing.get(node_id, ())]
+
+    def action_counts(self) -> Dict[str, int]:
+        """How many transitions each action contributed."""
+        counts: Dict[str, int] = defaultdict(int)
+        for edge in self._edges:
+            counts[edge.action] += 1
+        return dict(counts)
+
+    def terminal_ids(self) -> List[int]:
+        """Nodes with no outgoing edges (deadlocks or intended final states)."""
+        return [node for node in range(len(self._states)) if not self._outgoing.get(node)]
+
+    # Behaviours -------------------------------------------------------------------
+    def behaviours(
+        self,
+        *,
+        max_length: int,
+        from_initial_only: bool = True,
+    ) -> Iterator[List[Tuple[Optional[str], State]]]:
+        """Enumerate finite behaviours (paths) up to ``max_length`` states.
+
+        Each behaviour is a list of ``(action taken to reach the state, state)``
+        pairs; the first pair has ``None`` for the action.  Used by MBTCG to
+        enumerate complete runs of the array-OT specification.
+        """
+        if max_length < 1:
+            return
+        starts = self._initial if from_initial_only else range(len(self._states))
+        stack: List[Tuple[List[Tuple[Optional[str], int]], int]] = []
+        for start in starts:
+            stack.append(([(None, start)], start))
+        while stack:
+            path, node = stack.pop()
+            edges = self._outgoing.get(node, ())
+            if not edges or len(path) >= max_length:
+                yield [(act, self._states[nid]) for act, nid in path]
+                continue
+            for edge in edges:
+                stack.append((path + [(edge.action, edge.target)], edge.target))
+
+    # Liveness ------------------------------------------------------------------------
+    def to_networkx(self) -> "nx.MultiDiGraph":
+        """Export as a :class:`networkx.MultiDiGraph` (node attribute ``state``)."""
+        graph = nx.MultiDiGraph()
+        for node_id, state in enumerate(self._states):
+            graph.add_node(node_id, state=state)
+        for edge in self._edges:
+            graph.add_edge(edge.source, edge.target, action=edge.action)
+        return graph
+
+    def terminal_sccs(self) -> List[Set[int]]:
+        """Strongly connected components with no edges leaving them."""
+        digraph = nx.DiGraph()
+        digraph.add_nodes_from(range(len(self._states)))
+        digraph.add_edges_from((edge.source, edge.target) for edge in self._edges)
+        condensation = nx.condensation(digraph)
+        terminal: List[Set[int]] = []
+        for component_id in condensation.nodes:
+            if condensation.out_degree(component_id) == 0:
+                terminal.append(set(condensation.nodes[component_id]["members"]))
+        return terminal
+
+    def check_property(self, prop: TemporalProperty) -> PropertyCheckOutcome:
+        """Check a temporal property using the condensation of the graph."""
+        terminal_components = self.terminal_sccs()
+        if prop.kind == "eventually":
+            for component in terminal_components:
+                if not any(prop.predicate(self._states[node]) for node in component):
+                    sample = min(component)
+                    return PropertyCheckOutcome(
+                        prop.name,
+                        False,
+                        "a terminal component (e.g. node "
+                        f"{sample}) never satisfies the predicate",
+                    )
+            return PropertyCheckOutcome(prop.name, True)
+        # always_eventually: additionally, terminal singleton states must satisfy it.
+        for component in terminal_components:
+            satisfied = any(prop.predicate(self._states[node]) for node in component)
+            if not satisfied:
+                sample = min(component)
+                return PropertyCheckOutcome(
+                    prop.name,
+                    False,
+                    f"terminal component containing node {sample} never satisfies the predicate",
+                )
+            if len(component) == 1:
+                node = next(iter(component))
+                if not self._outgoing.get(node) and not prop.predicate(self._states[node]):
+                    return PropertyCheckOutcome(
+                        prop.name,
+                        False,
+                        f"deadlocked node {node} does not satisfy the predicate",
+                    )
+        return PropertyCheckOutcome(prop.name, True)
+
+    def reachable_fingerprints(self) -> Set[int]:
+        """Fingerprints of every state in the graph (for coverage reports)."""
+        return {state.fingerprint() for state in self._states}
+
+    # Queries used by MBTCG ---------------------------------------------------------
+    def find_states(self, predicate: Callable[[State], bool]) -> List[int]:
+        """Node ids of all states satisfying ``predicate``."""
+        return [node for node, state in enumerate(self._states) if predicate(state)]
+
+    def paths_to(
+        self, targets: Iterable[int], *, max_length: int = 64
+    ) -> Iterator[List[Tuple[Optional[str], State]]]:
+        """Behaviours from an initial state to any of ``targets`` (shortest first)."""
+        target_set = set(targets)
+        # Breadth-first search keeps generated test cases short, mirroring the
+        # observation in the paper's related work that Dick & Faivre ordered
+        # operations to find the shortest covering tests.
+        frontier: List[List[Tuple[Optional[str], int]]] = [
+            [(None, node)] for node in self._initial
+        ]
+        seen: Set[int] = set(self._initial)
+        while frontier:
+            next_frontier: List[List[Tuple[Optional[str], int]]] = []
+            for path in frontier:
+                node = path[-1][1]
+                if node in target_set:
+                    yield [(act, self._states[nid]) for act, nid in path]
+                    continue
+                if len(path) >= max_length:
+                    continue
+                for edge in self._outgoing.get(node, ()):
+                    if edge.target not in seen:
+                        seen.add(edge.target)
+                        next_frontier.append(path + [(edge.action, edge.target)])
+            frontier = next_frontier

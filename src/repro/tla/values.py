@@ -1,0 +1,246 @@
+"""Immutable value helpers mirroring the TLA+ value universe.
+
+TLA+ specifications manipulate a small universe of values: model constants,
+integers, strings, sets, sequences (tuples) and functions/records.  The model
+checker stores millions of states, so every value must be hashable and cheap
+to compare.  This module provides:
+
+* :func:`freeze` / :func:`thaw` -- convert arbitrary nested Python data into a
+  canonical hashable form and back,
+* :class:`Record` -- an immutable mapping with attribute access and an
+  ``EXCEPT``-style update helper (``rec.except_(ndx=3)``), mirroring TLA+
+  records and the ``[op EXCEPT !.ndx = @ - 1]`` idiom used throughout the
+  Realm Sync specification (paper Figure 7),
+* sequence helpers (:func:`append`, :func:`sub_seq`, :func:`seq_index`)
+  mirroring the ``Sequences`` standard module, and
+* :func:`fingerprint` -- a stable 64-bit fingerprint used by the checker.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Iterable, Iterator, Mapping, Tuple
+
+__all__ = [
+    "NULL",
+    "Record",
+    "append",
+    "fingerprint",
+    "freeze",
+    "is_sequence",
+    "last",
+    "seq_index",
+    "sub_seq",
+    "thaw",
+]
+
+
+class _Null:
+    """Singleton standing in for the ``NULL`` model constant used by the paper.
+
+    ``RaftMongo.tla`` uses ``NULL`` for "no commit point known yet" (see the
+    Trace module in paper Figure 4).
+    """
+
+    _instance: "_Null | None" = None
+
+    def __new__(cls) -> "_Null":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NULL"
+
+    def __hash__(self) -> int:
+        return hash("repro.tla.NULL")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Null)
+
+    def __reduce__(self):  # pragma: no cover - pickling support
+        return (_Null, ())
+
+
+NULL = _Null()
+
+
+class Record(Mapping[str, Any]):
+    """An immutable record (TLA+ function with string domain).
+
+    Records compare and hash by value, support attribute access for
+    readability (``op.ndx`` rather than ``op["ndx"]``) and provide
+    :meth:`except_` for the TLA+ ``EXCEPT`` update idiom.
+    """
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, *args: Mapping[str, Any], **fields: Any) -> None:
+        merged: dict[str, Any] = {}
+        for mapping in args:
+            merged.update(mapping)
+        merged.update(fields)
+        frozen = {key: freeze(value) for key, value in merged.items()}
+        object.__setattr__(self, "_items", tuple(sorted(frozen.items())))
+        object.__setattr__(self, "_hash", hash(self._items))
+
+    # Mapping interface -----------------------------------------------------
+    def __getitem__(self, key: str) -> Any:
+        for name, value in self._items:
+            if name == key:
+                return value
+        raise KeyError(key)
+
+    def __iter__(self) -> Iterator[str]:
+        return (name for name, _ in self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    # Value semantics ---------------------------------------------------------
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Record):
+            return self._items == other._items
+        if isinstance(other, Mapping):
+            return dict(self._items) == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}={value!r}" for name, value in self._items)
+        return f"Record({inner})"
+
+    # Convenience -------------------------------------------------------------
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self[name]
+        except KeyError as exc:  # pragma: no cover - defensive
+            raise AttributeError(name) from exc
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Record instances are immutable")
+
+    def except_(self, **updates: Any) -> "Record":
+        """Return a copy with the given fields replaced (TLA+ ``EXCEPT``)."""
+        data = dict(self._items)
+        for key, value in updates.items():
+            if key not in data:
+                raise KeyError(f"Record has no field {key!r}")
+            data[key] = value
+        return Record(data)
+
+    def with_fields(self, **updates: Any) -> "Record":
+        """Return a copy with fields replaced or added."""
+        data = dict(self._items)
+        data.update(updates)
+        return Record(data)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Return a plain mutable ``dict`` copy (values are thawed)."""
+        return {name: thaw(value) for name, value in self._items}
+
+
+def freeze(value: Any) -> Any:
+    """Return a canonical hashable version of ``value``.
+
+    Lists become tuples, sets become ``frozenset``, dicts become
+    :class:`Record` when all keys are strings (and sorted key/value tuples
+    otherwise).  Already-hashable values are returned unchanged.
+    """
+    if isinstance(value, (str, int, float, bool, bytes, _Null)) or value is None:
+        return value
+    if isinstance(value, Record):
+        return value
+    if isinstance(value, Mapping):
+        if all(isinstance(key, str) for key in value):
+            return Record(value)
+        return tuple(sorted((freeze(k), freeze(v)) for k, v in value.items()))
+    if isinstance(value, (set, frozenset)):
+        return frozenset(freeze(item) for item in value)
+    if isinstance(value, (list, tuple)):
+        return tuple(freeze(item) for item in value)
+    if hasattr(value, "__hash__") and value.__hash__ is not None:
+        return value
+    raise TypeError(f"cannot freeze value of type {type(value).__name__}")
+
+
+def thaw(value: Any) -> Any:
+    """Inverse-ish of :func:`freeze`: produce plain mutable Python data.
+
+    Tuples become lists, ``frozenset`` becomes ``set`` and :class:`Record`
+    becomes ``dict``.  This is used when rendering states as JSON trace events
+    and when emitting generated test cases.
+    """
+    if isinstance(value, Record):
+        return {name: thaw(item) for name, item in value.items()}
+    if isinstance(value, tuple):
+        return [thaw(item) for item in value]
+    if isinstance(value, frozenset):
+        return {thaw(item) for item in value}
+    return value
+
+
+def is_sequence(value: Any) -> bool:
+    """True when ``value`` is a TLA+-style sequence (a Python tuple)."""
+    return isinstance(value, tuple)
+
+
+def append(sequence: Tuple[Any, ...], item: Any) -> Tuple[Any, ...]:
+    """``Append(seq, item)`` from the TLA+ ``Sequences`` module."""
+    return tuple(sequence) + (freeze(item),)
+
+
+def sub_seq(sequence: Tuple[Any, ...], start: int, end: int) -> Tuple[Any, ...]:
+    """``SubSeq(seq, start, end)`` with TLA+'s 1-based, inclusive indexing."""
+    if start < 1:
+        raise ValueError("SubSeq start index is 1-based and must be >= 1")
+    return tuple(sequence[start - 1 : end])
+
+
+def seq_index(sequence: Tuple[Any, ...], index: int) -> Any:
+    """1-based sequence indexing, ``seq[i]`` in TLA+."""
+    if index < 1 or index > len(sequence):
+        raise IndexError(f"sequence index {index} out of range 1..{len(sequence)}")
+    return sequence[index - 1]
+
+
+def last(sequence: Tuple[Any, ...]) -> Any:
+    """``Last(seq)``: the final element of a non-empty sequence."""
+    if not sequence:
+        raise IndexError("Last() of empty sequence")
+    return sequence[-1]
+
+
+def _canonical_repr(value: Any) -> str:
+    if isinstance(value, Record):
+        inner = ",".join(f"{k}:{_canonical_repr(v)}" for k, v in value.items())
+        return "{" + inner + "}"
+    if isinstance(value, tuple):
+        return "[" + ",".join(_canonical_repr(item) for item in value) + "]"
+    if isinstance(value, frozenset):
+        return "(" + ",".join(sorted(_canonical_repr(item) for item in value)) + ")"
+    return repr(value)
+
+
+def fingerprint(value: Any) -> int:
+    """Return a stable 64-bit fingerprint of a frozen value.
+
+    Python's built-in ``hash`` is randomized per process for strings, which
+    would make fingerprints unusable for cross-run coverage merging (one of
+    the TLC gaps the paper calls out in Section 4.2.4).  We therefore compute
+    a CRC-based fingerprint of the canonical representation, which is stable
+    across processes and runs.
+    """
+    text = _canonical_repr(freeze(value)).encode("utf-8")
+    low = zlib.crc32(text)
+    high = zlib.adler32(text)
+    return (high << 32) | low
+
+
+def make_iterable(value: Any) -> Iterable[Any]:
+    """Wrap scalars into a one-element tuple; pass iterables through."""
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return value
+    return (value,)
