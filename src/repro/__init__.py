@@ -1,0 +1,17 @@
+"""Reproduction of MongoDB-style model-based trace checking (MBTC).
+
+Layers, bottom to top:
+
+* :mod:`repro.tla` -- the TLA+/TLC substitute: value universe, states,
+  specifications, the explicit-state model checker (fingerprint-interned or
+  state-retaining engines), trace checking, coverage, and DOT export.
+* :mod:`repro.specs` -- concrete specifications: ``RaftMongo`` (two variants,
+  as in the paper) and hierarchical ``Locking``.
+* :mod:`repro.pipeline` -- the scale layer: JSON-lines server-log ingestion,
+  synthetic workload generation with fault injection, a concurrent batch
+  trace-checking runner with merged coverage, and the ``python -m repro`` CLI.
+"""
+
+__version__ = "0.2.0"
+
+__all__ = ["__version__"]

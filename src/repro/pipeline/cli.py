@@ -1,0 +1,294 @@
+"""The ``python -m repro`` command line: check, trace and simulate.
+
+Subcommands mirror the paper's workflow:
+
+* ``check``   -- model-check a registered specification (TLC's role),
+* ``trace``   -- MBTC proper: parse server logs, rebuild the execution trace,
+  verify it against the spec, and optionally accumulate coverage,
+* ``simulate``-- the scale path: generate a synthetic workload (optionally
+  fault-injected), batch-check it concurrently, and report merged coverage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from ..tla import ModelChecker, check_spec
+from ..tla.coverage import CoverageReport, coverage_of_trace
+from ..tla.dot import to_dot
+from ..tla.errors import ReproError
+from ..tla.trace import check_trace, explain_failure
+from . import logs as log_module
+from .registry import build_spec_by_name, parse_params, SPECS
+from .runner import check_traces
+from .workload import generate_workload
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Model-based trace checking pipeline (TLC-substitute + MBTC).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_spec_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument("spec", choices=sorted(SPECS), help="specification to use")
+        p.add_argument(
+            "--param",
+            action="append",
+            default=[],
+            metavar="KEY=VALUE",
+            help="spec configuration parameter (repeatable), e.g. n_nodes=3",
+        )
+
+    check_p = sub.add_parser("check", help="model-check a specification")
+    add_spec_arguments(check_p)
+    check_p.add_argument(
+        "--engine",
+        choices=("auto", "fingerprint", "states"),
+        default="auto",
+        help="visited-set engine (default: fingerprint unless a graph is needed)",
+    )
+    check_p.add_argument("--max-states", type=int, default=None)
+    check_p.add_argument("--max-depth", type=int, default=None)
+    check_p.add_argument("--deadlock", action="store_true", help="detect deadlocks")
+    check_p.add_argument(
+        "--no-properties", action="store_true", help="skip temporal properties"
+    )
+    check_p.add_argument(
+        "--memory-stats",
+        action="store_true",
+        help="report tracemalloc peak memory of the run",
+    )
+    check_p.add_argument("--dot", metavar="FILE", help="export the state graph as DOT")
+
+    trace_p = sub.add_parser("trace", help="check server logs against a spec (MBTC)")
+    add_spec_arguments(trace_p)
+    trace_p.add_argument("logs", nargs="+", metavar="LOGFILE", help="per-node log files")
+    trace_p.add_argument(
+        "--no-require-initial",
+        action="store_true",
+        help="accept traces that start mid-execution",
+    )
+    trace_p.add_argument(
+        "--no-stuttering", action="store_true", help="reject stuttering steps"
+    )
+    trace_p.add_argument(
+        "--coverage-out",
+        metavar="FILE",
+        help="merge this trace's coverage into a JSON report file",
+    )
+
+    sim_p = sub.add_parser("simulate", help="generate and batch-check a workload")
+    add_spec_arguments(sim_p)
+    sim_p.add_argument("--traces", type=int, default=1000, help="number of traces")
+    sim_p.add_argument("--seed", type=int, default=0)
+    sim_p.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="fraction of traces mutated into guaranteed-invalid executions",
+    )
+    sim_p.add_argument("--min-steps", type=int, default=4)
+    sim_p.add_argument("--max-steps", type=int, default=24)
+    sim_p.add_argument("--stutter-prob", type=float, default=0.0)
+    sim_p.add_argument("--workers", type=int, default=4)
+    sim_p.add_argument(
+        "--log-dir",
+        metavar="DIR",
+        help="also write the first --log-limit traces as per-node JSON-lines logs",
+    )
+    sim_p.add_argument("--log-limit", type=int, default=10)
+    sim_p.add_argument("--coverage-out", metavar="FILE", help="merged coverage JSON")
+    sim_p.add_argument(
+        "--with-reachable",
+        action="store_true",
+        help="model-check first so coverage is a fraction of the reachable space",
+    )
+    return parser
+
+
+def _merge_coverage_file(path: str, report: CoverageReport) -> CoverageReport:
+    """Accumulate coverage across CLI invocations (paper Section 4.2.4)."""
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            report = CoverageReport.from_json(handle.read()).merge(report)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(report.to_json())
+    return report
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    spec, _entry = build_spec_by_name(args.spec, **parse_params(tuple(args.param)))
+    collect_graph = bool(args.dot)
+    engine = args.engine
+    if collect_graph and engine == "fingerprint":
+        print("error: --dot requires the states engine", file=sys.stderr)
+        return 2
+    check_properties = not args.no_properties
+    if engine == "fingerprint" and check_properties and spec.properties:
+        print("note: fingerprint engine skips temporal properties (needs the state graph)")
+        check_properties = False
+
+    def run():
+        checker = ModelChecker(
+            spec,
+            collect_graph=collect_graph,
+            check_deadlock=args.deadlock,
+            check_properties=check_properties,
+            max_states=args.max_states,
+            max_depth=args.max_depth,
+            engine=engine,
+        )
+        return checker.run()
+
+    if args.memory_stats:
+        import tracemalloc
+
+        tracemalloc.start()
+        result = run()
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    else:
+        result = run()
+        peak = None
+
+    print(result.summary())
+    if result.truncated:
+        print(
+            "WARNING: exploration truncated by --max-states/--max-depth; "
+            "statistics cover only the explored prefix"
+        )
+    print(f"engine: {result.engine}; peak frontier {result.peak_frontier} state(s)")
+    for name in sorted(result.action_counts):
+        print(f"  {name}: {result.action_counts[name]} transition(s)")
+    for outcome in result.property_outcomes:
+        verdict = "holds" if outcome.holds else f"VIOLATED ({outcome.explanation})"
+        print(f"  property {outcome.property_name}: {verdict}")
+    if result.invariant_violation is not None:
+        print(f"counterexample ({len(result.invariant_violation.trace)} states):")
+        for index, state in enumerate(result.invariant_violation.trace):
+            print(f"  {index}: {state.to_dict()}")
+    if peak is not None:
+        print(f"peak memory: {peak / 1e6:.1f} MB")
+    if args.dot and result.graph is not None:
+        with open(args.dot, "w", encoding="utf-8") as handle:
+            handle.write(to_dot(result.graph, name=spec.name.replace("[", "_").replace("]", "")))
+        print(f"state graph written to {args.dot}")
+    return 0 if result.ok else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    spec, entry = build_spec_by_name(args.spec, **parse_params(tuple(args.param)))
+    per_node = entry.per_node_variables(spec)
+    trace = log_module.trace_from_logs(spec, args.logs, per_node=per_node)
+    print(f"rebuilt trace of {len(trace)} state(s) from {len(args.logs)} log file(s)")
+    result = check_trace(
+        spec,
+        trace,
+        allow_stuttering=not args.no_stuttering,
+        require_initial=not args.no_require_initial,
+    )
+    print(result.summary())
+    if not result.ok:
+        print(explain_failure(result))
+    if args.coverage_out:
+        validated = result.validated_prefix(trace)
+        coverage = coverage_of_trace(
+            spec, validated, matched_actions=result.matched_actions
+        )
+        merged = _merge_coverage_file(args.coverage_out, coverage)
+        print("accumulated " + merged.summary())
+    return 0 if result.ok else 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    spec, entry = build_spec_by_name(args.spec, **parse_params(tuple(args.param)))
+    reachable = None
+    if args.with_reachable:
+        full = check_spec(spec, check_properties=False, engine="fingerprint")
+        reachable = full.distinct_states
+        print(f"reachable state space: {reachable} state(s)")
+
+    workload = generate_workload(
+        spec,
+        n_traces=args.traces,
+        seed=args.seed,
+        fault_rate=args.fault_rate,
+        min_steps=args.min_steps,
+        max_steps=args.max_steps,
+        stutter_probability=args.stutter_prob,
+    )
+    if args.log_dir:
+        # Materialize only the traces that get written out; the rest of the
+        # workload streams straight into the batch runner.
+        head = list(itertools.islice(workload, args.log_limit))
+        os.makedirs(args.log_dir, exist_ok=True)
+        written = _write_workload_logs(spec, entry, head, args.log_dir)
+        print(f"wrote {written} log file(s) to {args.log_dir}")
+        workload = itertools.chain(head, workload)
+
+    report = check_traces(
+        spec,
+        workload,
+        workers=args.workers,
+        reachable_count=reachable,
+    )
+    print(report.summary())
+    for outcome in report.surprises[:10]:
+        expectation = "pass" if outcome.expected_ok else f"fail ({outcome.fault})"
+        print(
+            f"  UNEXPECTED trace #{outcome.index}: expected {expectation}, "
+            f"got {'pass' if outcome.ok else 'fail'} {outcome.detail}"
+        )
+    if args.coverage_out and report.coverage is not None:
+        merged = _merge_coverage_file(args.coverage_out, report.coverage)
+        print("accumulated " + merged.summary())
+    return 0 if report.ok else 1
+
+
+def _write_workload_logs(spec, entry, traces, log_dir: str) -> int:
+    """Write each trace as per-node JSON-lines files (round-trippable by `trace`)."""
+    per_node = entry.per_node_variables(spec)
+    nodes = entry.node_count(spec)
+    written = 0
+    for index, generated in enumerate(traces):
+        events = log_module.events_from_trace(
+            spec, generated.states, per_node=per_node, actions=generated.actions
+        )
+        for node in range(nodes):
+            # Global (node=None) events land in node 0's file; the merge by
+            # timestamp restores the total order regardless of placement.
+            mine = [
+                event
+                for event in events
+                if event.node == node or (node == 0 and event.node is None)
+            ]
+            path = os.path.join(log_dir, f"trace{index:04d}-node{node}.jsonl")
+            log_module.write_log_file(path, mine)
+            written += 1
+    return written
+
+
+_COMMANDS = {"check": _cmd_check, "trace": _cmd_trace, "simulate": _cmd_simulate}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ReproError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,354 @@
+"""Server-log ingestion: JSON-lines events -> ordered execution traces.
+
+This is the reproduction of the log-to-trace half of the paper's MBTC
+pipeline (Section 4.1, and ajdavis/repl-trace-checker): every node of the
+system under test logs one JSON event whenever it executes a step that
+corresponds to a specification action, recording its node id and the values
+of the modelled variables it changed.  This module parses those logs, merges
+the per-node streams into one timestamp-ordered event sequence, and folds the
+events into a sequence of full specification states starting from the spec's
+initial state.
+
+Event format (one JSON object per line, arbitrary prefix text tolerated, so
+real server log lines like ``... TLA_PLUS_TRACE [repl] {...}`` parse as-is)::
+
+    {"ts": 12, "node": 1, "action": "ClientWrite", "vars": {"oplog": [...]}}
+
+* ``ts`` -- a number; events are ordered by it when streams are merged.
+* ``node`` -- the 0-indexed node (or thread) id, or ``null`` for an event
+  that reports whole-variable values (used when one step changes several
+  nodes' slots at once, e.g. an election flipping two roles).
+* ``action`` -- the specification action the implementation claims it took.
+  Informational: the trace checker re-derives the matching action itself.
+* ``vars`` -- variable name to value.  For a node-scoped event each value is
+  that node's slot of the variable; for a global event it is the whole value.
+
+``NULL`` (the model constant) is encoded as ``{"__null__": true}`` because
+JSON ``null`` cannot be distinguished from Python ``None``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..tla import NULL, Record, Specification, State
+from ..tla.errors import ReproError
+
+__all__ = [
+    "LogEvent",
+    "LogParseError",
+    "SNAPSHOT_ACTION",
+    "decode_value",
+    "encode_value",
+    "events_from_trace",
+    "events_to_trace",
+    "format_event",
+    "merge_event_streams",
+    "parse_log_lines",
+    "read_log_files",
+    "trace_from_logs",
+    "write_log_file",
+]
+
+
+class LogParseError(ReproError):
+    """A log line that looks like a trace event cannot be decoded."""
+
+
+#: Action name of a full-state anchor event: it re-bases the trace on a
+#: complete variable assignment instead of the spec's initial state, so
+#: executions captured mid-run (or fault-injected ones) round-trip exactly.
+SNAPSHOT_ACTION = "<snapshot>"
+
+
+@dataclass(frozen=True)
+class LogEvent:
+    """One modelled step logged by one node of the system under test."""
+
+    ts: float
+    node: Optional[int]
+    action: str
+    vars: Dict[str, Any] = field(default_factory=dict)
+    location: str = "<memory>"
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "ts": self.ts,
+            "node": self.node,
+            "action": self.action,
+            "vars": {name: encode_value(value) for name, value in self.vars.items()},
+        }
+
+
+# ---------------------------------------------------------------------------
+# Value encoding: frozen TLA values <-> JSON data
+# ---------------------------------------------------------------------------
+
+
+def encode_value(value: Any) -> Any:
+    """Render a frozen TLA value as JSON-serializable data."""
+    if value == NULL:
+        return {"__null__": True}
+    if isinstance(value, Record):
+        return {name: encode_value(item) for name, item in value.items()}
+    if isinstance(value, (tuple, list)):
+        return [encode_value(item) for item in value]
+    if isinstance(value, frozenset):
+        raise LogParseError("sets cannot be encoded as JSON log values")
+    return value
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value`; dicts become Records, lists tuples."""
+    if isinstance(value, dict):
+        if value.get("__null__") is True:
+            return NULL
+        return Record({name: decode_value(item) for name, item in value.items()})
+    if isinstance(value, list):
+        return tuple(decode_value(item) for item in value)
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Parsing and merging
+# ---------------------------------------------------------------------------
+
+
+def parse_log_lines(
+    lines: Iterable[str], *, location: str = "<memory>"
+) -> Iterator[LogEvent]:
+    """Yield the trace events embedded in an iterable of log lines.
+
+    Lines without an embedded JSON object, and JSON lines without an
+    ``action`` field (ordinary or structured server logging), are skipped as
+    noise.  A line that mentions ``"action"`` but cannot be decoded -- the
+    signature of a half-written trace event from a crashing node -- raises
+    :class:`LogParseError`, because it must fail the run rather than silently
+    produce a shorter trace that checks a different execution.
+    """
+    for line_number, raw in enumerate(lines, start=1):
+        brace = raw.find("{")
+        if brace < 0:
+            continue
+        snippet = raw[brace:]
+        try:
+            payload = json.loads(snippet)
+        except json.JSONDecodeError as exc:
+            if '"action"' in snippet:
+                raise LogParseError(
+                    f"truncated trace event at {location}:{line_number}: {exc}"
+                ) from exc
+            continue
+        if not isinstance(payload, dict) or "action" not in payload:
+            continue
+        where = f"{location}:{line_number}"
+        try:
+            node = payload["node"]
+            yield LogEvent(
+                ts=float(payload["ts"]),
+                node=None if node is None else int(node),
+                action=str(payload["action"]),
+                vars={
+                    name: decode_value(value)
+                    for name, value in dict(payload.get("vars", {})).items()
+                },
+                location=where,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise LogParseError(f"malformed trace event at {where}: {exc}") from exc
+
+
+def merge_event_streams(streams: Iterable[Iterable[LogEvent]]) -> Iterator[LogEvent]:
+    """Merge per-node event streams into one sequence ordered by timestamp.
+
+    Each stream must already be internally ordered (a node's own log is);
+    :func:`heapq.merge` then gives a total order without materializing the
+    streams, exactly how the MongoDB tooling merged ``mongod.log`` files.
+    """
+    return heapq.merge(*streams, key=lambda event: event.ts)
+
+
+def read_log_files(paths: Sequence[str]) -> Iterator[LogEvent]:
+    """Parse and merge any number of per-node log files."""
+
+    def stream(path: str) -> Iterator[LogEvent]:
+        with open(path, "r", encoding="utf-8") as handle:
+            yield from parse_log_lines(handle, location=path)
+
+    return merge_event_streams(stream(path) for path in paths)
+
+
+# ---------------------------------------------------------------------------
+# Trace building
+# ---------------------------------------------------------------------------
+
+
+def _chain_back(first: LogEvent, rest: Iterator[LogEvent]) -> Iterator[LogEvent]:
+    yield first
+    yield from rest
+
+
+def events_to_trace(
+    spec: Specification,
+    events: Iterable[LogEvent],
+    *,
+    per_node: Sequence[str],
+    initial: Optional[State] = None,
+) -> List[State]:
+    """Fold ordered events into a sequence of full specification states.
+
+    The trace starts from the spec's (single) initial state -- the same
+    starting assumption the repl-trace-checker makes -- unless the first
+    event is a :data:`SNAPSHOT_ACTION` anchor carrying a full variable
+    assignment, which re-bases the trace on that state instead.  Each further
+    event yields the next state: a node-scoped event replaces the node's slot
+    of each reported per-node variable, a global event replaces whole
+    variables.
+    """
+    if initial is None:
+        initials = spec.initial_states()
+        if len(initials) != 1:
+            raise LogParseError(
+                f"specification {spec.name!r} has {len(initials)} initial states; "
+                "pass initial= explicitly to build a trace"
+            )
+        initial = initials[0]
+    per_node_set = set(per_node)
+    events = iter(events)
+    first = next(events, None)
+    if first is not None and first.action == SNAPSHOT_ACTION:
+        missing = [name for name in spec.schema.names if name not in first.vars]
+        if missing or first.node is not None:
+            raise LogParseError(
+                f"snapshot event at {first.location} must be global and bind "
+                f"every variable (missing: {missing})"
+            )
+        initial = spec.make_state(**first.vars)
+    elif first is not None:
+        events = _chain_back(first, events)
+    trace = [initial]
+    current = initial
+    for event in events:
+        updates: Dict[str, Any] = {}
+        for name, value in event.vars.items():
+            if name not in spec.schema:
+                raise LogParseError(
+                    f"event at {event.location} reports unknown variable {name!r}"
+                )
+            if event.node is not None and name in per_node_set:
+                slots = list(current[name])
+                if not 0 <= event.node < len(slots):
+                    raise LogParseError(
+                        f"event at {event.location} names node {event.node}, but "
+                        f"variable {name!r} has {len(slots)} slots"
+                    )
+                slots[event.node] = value
+                updates[name] = tuple(slots)
+            else:
+                updates[name] = value
+        current = current.with_updates(**updates)
+        trace.append(current)
+    return trace
+
+
+def trace_from_logs(
+    spec: Specification,
+    paths: Sequence[str],
+    *,
+    per_node: Sequence[str],
+) -> List[State]:
+    """Convenience: parse, merge and fold log files into a state trace."""
+    return events_to_trace(spec, read_log_files(paths), per_node=per_node)
+
+
+# ---------------------------------------------------------------------------
+# Writing (used by the synthetic workload generator and tests)
+# ---------------------------------------------------------------------------
+
+
+def format_event(event: LogEvent) -> str:
+    """One JSON line for ``event``, parseable by :func:`parse_log_lines`."""
+    return json.dumps(event.to_json(), sort_keys=True)
+
+
+def write_log_file(path: str, events: Iterable[LogEvent]) -> int:
+    """Write events as JSON lines; returns the number of lines written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(format_event(event) + "\n")
+            count += 1
+    return count
+
+
+def events_from_trace(
+    spec: Specification,
+    states: Sequence[State],
+    *,
+    per_node: Sequence[str],
+    actions: Sequence[Optional[str]] = (),
+    start_ts: float = 0.0,
+) -> List[LogEvent]:
+    """Diff consecutive states into log events (the logging side of MBTC).
+
+    When a step changes exactly one node's slots of per-node variables, a
+    node-scoped event is emitted, as a real server would log about itself;
+    otherwise (elections touching two roles, global-variable changes) a
+    global event carries the whole changed variables.  A trace that does not
+    start in the spec's initial state (captured mid-run, or fault-injected)
+    is prefixed with a :data:`SNAPSHOT_ACTION` anchor so it round-trips
+    exactly instead of silently re-anchoring at the initial state.
+    """
+    per_node_set = set(per_node)
+    events: List[LogEvent] = []
+    if states and states[0] not in spec.initial_states():
+        events.append(
+            LogEvent(
+                ts=start_ts,
+                node=None,
+                action=SNAPSHOT_ACTION,
+                vars={name: states[0][name] for name in spec.schema.names},
+            )
+        )
+    for index in range(1, len(states)):
+        previous, current = states[index - 1], states[index]
+        changed = [
+            name for name in spec.schema.names if previous[name] != current[name]
+        ]
+        if not changed:
+            continue  # stuttering step: nothing was logged
+        action = actions[index] if index < len(actions) and actions[index] else "<step>"
+        touched_nodes: set[int] = set()
+        scoped = True
+        for name in changed:
+            if name not in per_node_set:
+                scoped = False
+                break
+            before, after = previous[name], current[name]
+            touched_nodes.update(
+                slot for slot in range(len(after)) if before[slot] != after[slot]
+            )
+        ts = start_ts + index
+        if scoped and len(touched_nodes) == 1:
+            node = touched_nodes.pop()
+            events.append(
+                LogEvent(
+                    ts=ts,
+                    node=node,
+                    action=action,
+                    vars={name: current[name][node] for name in changed},
+                )
+            )
+        else:
+            events.append(
+                LogEvent(
+                    ts=ts,
+                    node=None,
+                    action=action,
+                    vars={name: current[name] for name in changed},
+                )
+            )
+    return events

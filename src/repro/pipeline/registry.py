@@ -1,0 +1,84 @@
+"""Name-based specification registry for the CLI and batch tooling.
+
+Each entry wires a spec module's pipeline hooks together: a factory building
+the :class:`~repro.tla.spec.Specification` from flat parameters, plus the
+metadata the log layer needs (which variables are per-node, how many nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Tuple
+
+from ..specs import locking, raft_mongo
+from ..tla import Specification
+from ..tla.errors import SpecError
+
+__all__ = ["SPECS", "SpecEntry", "build_spec_by_name", "parse_params"]
+
+
+@dataclass(frozen=True)
+class SpecEntry:
+    """One checkable specification family, addressable by CLI name."""
+
+    name: str
+    description: str
+    factory: Callable[..., Specification]
+    per_node_variables: Callable[[Specification], Tuple[str, ...]]
+    node_count: Callable[[Specification], int]
+
+
+SPECS: Dict[str, SpecEntry] = {
+    "locking": SpecEntry(
+        name="locking",
+        description="MongoDB-style hierarchical locking (paper Section 4.2.5)",
+        factory=locking.spec_factory,
+        per_node_variables=locking.per_node_variables,
+        node_count=locking.node_count,
+    ),
+    "raftmongo": SpecEntry(
+        name="raftmongo",
+        description="RaftMongo replication protocol (paper Section 4); "
+        "params: n_nodes, max_term, max_log_len, variant=original|mbtc",
+        factory=raft_mongo.spec_factory,
+        per_node_variables=raft_mongo.per_node_variables,
+        node_count=raft_mongo.node_count,
+    ),
+}
+
+
+def parse_params(pairs: Tuple[str, ...]) -> Dict[str, Any]:
+    """Parse ``key=value`` CLI parameters with int/float/bool coercion."""
+    params: Dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SpecError(f"malformed --param {pair!r}; expected key=value")
+        value: Any
+        lowered = raw.lower()
+        if lowered in ("true", "false"):
+            value = lowered == "true"
+        else:
+            try:
+                value = int(raw)
+            except ValueError:
+                try:
+                    value = float(raw)
+                except ValueError:
+                    value = raw
+        params[key] = value
+    return params
+
+
+def build_spec_by_name(name: str, **params: Any) -> Tuple[Specification, SpecEntry]:
+    """Build a registered spec; raises :class:`SpecError` for unknown names."""
+    try:
+        entry = SPECS[name]
+    except KeyError:
+        known = ", ".join(sorted(SPECS))
+        raise SpecError(f"unknown specification {name!r}; known: {known}") from None
+    try:
+        spec = entry.factory(**params)
+    except TypeError as exc:
+        raise SpecError(f"bad parameters for {name!r}: {exc}") from exc
+    return spec, entry

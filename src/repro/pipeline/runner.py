@@ -1,0 +1,195 @@
+"""Concurrent batch trace checking with merged coverage.
+
+Paper Section 4.2.4 wants MBTC "deployed to continuous integration": many
+traces, checked concurrently, with one combined coverage number at the end.
+This runner does that in-process: a thread pool checks traces against a
+shared :class:`~repro.tla.trace.SuccessorCache` (different traces of one
+workload revisit the same states, so successor computation amortizes across
+the whole batch), per-trace coverage reports are absorbed into one
+accumulator, and the result prints as a TLC-style summary.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Union
+
+from ..tla import Specification, State
+from ..tla.coverage import CoverageReport, coverage_of_trace
+from ..tla.trace import SuccessorCache, TraceCheckResult, check_trace, explain_failure
+from .workload import GeneratedTrace
+
+__all__ = ["BatchReport", "TraceOutcome", "check_traces"]
+
+TraceLike = Union[GeneratedTrace, Sequence[State]]
+
+
+@dataclass
+class TraceOutcome:
+    """The verdict for one trace of a batch."""
+
+    index: int
+    ok: bool
+    expected_ok: Optional[bool] = None
+    fault: Optional[str] = None
+    detail: str = ""
+
+    @property
+    def surprising(self) -> bool:
+        """True when the verdict contradicts the generator's expectation."""
+        return self.expected_ok is not None and self.ok != self.expected_ok
+
+
+@dataclass
+class BatchReport:
+    """Aggregate outcome of checking one batch of traces."""
+
+    spec_name: str
+    total: int = 0
+    passed: int = 0
+    failed: int = 0
+    surprises: List[TraceOutcome] = field(default_factory=list)
+    failures: List[TraceOutcome] = field(default_factory=list)
+    coverage: Optional[CoverageReport] = None
+    duration_seconds: float = 0.0
+    workers: int = 1
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when every verdict matched expectations.
+
+        Labelled traces (from the workload generator) must pass or fail as
+        predicted; an unlabelled trace (a plain state sequence) must pass.
+        """
+        if self.surprises:
+            return False
+        return all(outcome.expected_ok is not None for outcome in self.failures)
+
+    def summary(self) -> str:
+        """Multi-line TLC-style batch summary."""
+        lines = [
+            f"{self.spec_name}: checked {self.total} trace(s) with {self.workers} "
+            f"worker(s) in {self.duration_seconds:.2f}s",
+            f"  PASS {self.passed}  FAIL {self.failed}  "
+            f"unexpected verdicts {len(self.surprises)}",
+        ]
+        if self.coverage is not None:
+            lines.append("  coverage: " + self.coverage.summary())
+            exercised = sorted(
+                name for name, count in self.coverage.action_counts.items() if count
+            )
+            if exercised:
+                lines.append("  actions exercised: " + ", ".join(exercised))
+        total_lookups = self.cache_hits + self.cache_misses
+        if total_lookups:
+            lines.append(
+                f"  successor cache: {self.cache_hits}/{total_lookups} hits "
+                f"({self.cache_hits / total_lookups:.0%})"
+            )
+        return "\n".join(lines)
+
+
+def _as_generated(item: TraceLike, index: int) -> tuple:
+    """Normalize to (GeneratedTrace, labelled): plain sequences carry no expectation."""
+    if isinstance(item, GeneratedTrace):
+        return item, True
+    states = list(item)
+    return GeneratedTrace(states=states, actions=[None] * len(states), seed=index), False
+
+
+def check_traces(
+    spec: Specification,
+    traces: Iterable[TraceLike],
+    *,
+    workers: int = 4,
+    allow_stuttering: bool = True,
+    require_initial: bool = True,
+    reachable_count: Optional[int] = None,
+    collect_coverage: bool = True,
+) -> BatchReport:
+    """Check every trace against ``spec`` concurrently; return a :class:`BatchReport`.
+
+    ``reachable_count`` (e.g. ``CheckResult.distinct_states`` from a full
+    model-checking run) turns merged coverage into a fraction of the reachable
+    state space -- the number the paper says TLC cannot produce across runs.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    started = time.perf_counter()
+    cache = SuccessorCache(spec)
+    report = BatchReport(spec_name=spec.name, workers=workers)
+    accumulator = (
+        CoverageReport(spec_name=spec.name, reachable_count=reachable_count)
+        if collect_coverage
+        else None
+    )
+
+    def check_one(indexed: tuple) -> tuple:
+        index, generated, labelled = indexed
+        result: TraceCheckResult = check_trace(
+            spec,
+            generated.states,
+            allow_stuttering=allow_stuttering,
+            require_initial=require_initial,
+            successor_cache=cache,
+        )
+        coverage = None
+        if collect_coverage:
+            # Only validated states count: everything up to the failing
+            # transition was witnessed as a behaviour prefix, the rest was
+            # never checked and may not even be reachable.  Folding unchecked
+            # states in would inflate the cross-run coverage fraction this
+            # pipeline exists to compute.
+            validated = result.validated_prefix(generated.states)
+            if validated:
+                coverage = coverage_of_trace(
+                    spec,
+                    validated,
+                    matched_actions=result.matched_actions,
+                )
+        outcome = TraceOutcome(
+            index=index,
+            ok=result.ok,
+            expected_ok=generated.expect_ok if labelled else None,
+            fault=generated.fault,
+            detail="" if result.ok else explain_failure(result),
+        )
+        return outcome, coverage
+
+    def consume(outcome: TraceOutcome, coverage: Optional[CoverageReport]) -> None:
+        report.total += 1
+        if outcome.ok:
+            report.passed += 1
+        else:
+            report.failed += 1
+            report.failures.append(outcome)
+        if outcome.surprising:
+            report.surprises.append(outcome)
+        if accumulator is not None and coverage is not None:
+            accumulator.absorb(coverage)
+
+    # Bounded submission window: Executor.map would eagerly turn the whole
+    # (possibly huge, generator-backed) workload into futures; this keeps at
+    # most a few batches of traces alive at once.
+    items = ((i, *_as_generated(t, i)) for i, t in enumerate(traces))
+    window: deque = deque()
+    with ThreadPoolExecutor(max_workers=workers) as executor:
+        for item in items:
+            window.append(executor.submit(check_one, item))
+            if len(window) >= workers * 4:
+                consume(*window.popleft().result())
+        while window:
+            consume(*window.popleft().result())
+
+    if accumulator is not None:
+        accumulator.trace_count = report.total
+        report.coverage = accumulator
+    report.cache_hits = cache.hits
+    report.cache_misses = cache.misses
+    report.duration_seconds = time.perf_counter() - started
+    return report

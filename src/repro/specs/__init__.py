@@ -1,0 +1,15 @@
+"""Concrete specifications checked by the reproduction.
+
+* :mod:`repro.specs.raft_mongo` -- the replication-protocol spec the paper
+  trace-checks (Section 4), in its ``original`` and ``mbtc`` variants.
+* :mod:`repro.specs.locking` -- the hierarchical-locking spec discussed as
+  the hypothetical second MBTC target (Section 4.2.5).
+
+Each module also exposes the pipeline hooks (``spec_factory``,
+``per_node_variables``, ``node_count``) that :mod:`repro.pipeline.registry`
+uses to build specs by name from the CLI.
+"""
+
+from . import locking, raft_mongo
+
+__all__ = ["locking", "raft_mongo"]

@@ -36,6 +36,9 @@ __all__ = [
     "LockingConfig",
     "build_spec",
     "compatible",
+    "node_count",
+    "per_node_variables",
+    "spec_factory",
 ]
 
 #: Lock modes, in increasing strength: intent-shared, intent-exclusive, shared, exclusive.
@@ -244,3 +247,23 @@ def build_spec(config: Optional[LockingConfig] = None) -> Specification:
         ],
         constants={"n_threads": cfg.n_threads, "allow_exclusive": cfg.allow_exclusive},
     )
+
+
+# ---------------------------------------------------------------------------
+# Pipeline hooks (see repro.pipeline.registry)
+# ---------------------------------------------------------------------------
+
+
+def spec_factory(**params: Any) -> Specification:
+    """Build the locking spec from flat keyword parameters (CLI entry point)."""
+    return build_spec(LockingConfig(**params))
+
+
+def per_node_variables(spec: Specification) -> Tuple[str, ...]:
+    """Variables indexed by node id; here a "node" is a contending thread."""
+    return ("held",)
+
+
+def node_count(spec: Specification) -> int:
+    """How many per-node slots each per-node variable carries."""
+    return int(spec.constants["n_threads"])

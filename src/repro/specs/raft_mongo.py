@@ -50,6 +50,9 @@ __all__ = [
     "entry",
     "entry_order_key",
     "initial_state_dict",
+    "node_count",
+    "per_node_variables",
+    "spec_factory",
 ]
 
 LEADER = "Leader"
@@ -527,3 +530,30 @@ def build_spec(config: Optional[RaftMongoConfig] = None) -> Specification:
             "variant": cfg.variant,
         },
     )
+
+
+# ---------------------------------------------------------------------------
+# Pipeline hooks (see repro.pipeline.registry)
+# ---------------------------------------------------------------------------
+
+
+def spec_factory(**params: Any) -> Specification:
+    """Build a RaftMongo spec from flat keyword parameters (CLI entry point)."""
+    return build_spec(RaftMongoConfig(**params))
+
+
+def per_node_variables(spec: Specification) -> Tuple[str, ...]:
+    """Variables indexed by node id.
+
+    In the ``original`` variant the election term is a single global value
+    (the very modelling gap MBTC exposed, paper Section 4.2.2), so only the
+    other three variables are per-node there.
+    """
+    if spec.constants.get("variant") == "original":
+        return ("role", "commitPoint", "oplog")
+    return VARIABLES
+
+
+def node_count(spec: Specification) -> int:
+    """How many replica-set members the configuration models."""
+    return int(spec.constants["n_nodes"])

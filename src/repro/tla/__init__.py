@@ -31,8 +31,24 @@ from .errors import (
 from .graph import Edge, PropertyCheckOutcome, StateGraph
 from .spec import Action, Invariant, Specification, TemporalProperty, action, invariant
 from .state import State, VariableSchema
-from .trace import TraceCheckResult, check_partial_trace, check_trace
-from .values import NULL, Record, append, fingerprint, freeze, last, sub_seq, thaw
+from .trace import (
+    SuccessorCache,
+    TraceCheckResult,
+    check_partial_trace,
+    check_trace,
+    explain_failure,
+)
+from .values import (
+    NULL,
+    FingerprintCache,
+    Record,
+    append,
+    fingerprint,
+    freeze,
+    last,
+    sub_seq,
+    thaw,
+)
 
 __all__ = [
     "NULL",
@@ -43,6 +59,7 @@ __all__ = [
     "DeadlockError",
     "Edge",
     "EvaluationError",
+    "FingerprintCache",
     "Invariant",
     "InvariantViolation",
     "LivenessViolation",
@@ -58,6 +75,7 @@ __all__ = [
     "State",
     "StateGraph",
     "StateSpaceLimitExceeded",
+    "SuccessorCache",
     "TemporalProperty",
     "TraceCheckError",
     "TraceCheckResult",
@@ -70,6 +88,7 @@ __all__ = [
     "check_spec",
     "check_trace",
     "coverage_of_trace",
+    "explain_failure",
     "fingerprint",
     "freeze",
     "invariant",

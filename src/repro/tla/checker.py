@@ -11,6 +11,18 @@ The checker does what the paper relies on TLC for:
   numbers TLC prints and which the paper quotes (42,034 and 371,368 states
   for the two RaftMongo variants), and
 * optional retention of the full state graph, which MBTCG consumes.
+
+Two exploration engines are provided:
+
+* ``"fingerprint"`` -- the default when no state graph is requested.  The
+  visited set holds only stable 64-bit state fingerprints (as TLC's own
+  fingerprint set does), plus a fingerprint-keyed parent map used to rebuild
+  counterexample behaviours by forward replay.  Full ``State`` objects live
+  only on the current and next BFS frontier, so peak memory is bounded by the
+  widest level rather than the whole reachable space.
+* ``"states"`` -- the original engine: every distinct ``State`` is retained.
+  Required (and selected automatically) when the state graph is collected for
+  temporal properties or MBTCG.
 """
 
 from __future__ import annotations
@@ -18,9 +30,10 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from .errors import (
+    CheckerError,
     DeadlockError,
     InvariantViolation,
     LivenessViolation,
@@ -29,8 +42,11 @@ from .errors import (
 from .graph import PropertyCheckOutcome, StateGraph
 from .spec import Specification
 from .state import State
+from .values import FingerprintCache
 
 __all__ = ["CheckResult", "ModelChecker", "check_spec"]
+
+ENGINES = ("auto", "fingerprint", "states")
 
 
 @dataclass
@@ -48,6 +64,8 @@ class CheckResult:
     property_outcomes: List[PropertyCheckOutcome] = field(default_factory=list)
     graph: Optional[StateGraph] = None
     truncated: bool = False
+    engine: str = "states"
+    peak_frontier: int = 0
 
     @property
     def ok(self) -> bool:
@@ -79,7 +97,10 @@ class ModelChecker:
         max_states: Optional[int] = None,
         max_depth: Optional[int] = None,
         stop_on_violation: bool = True,
+        engine: str = "auto",
     ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.spec = spec
         self.check_properties = check_properties
         # Temporal properties are checked on the state graph, so requesting
@@ -90,14 +111,184 @@ class ModelChecker:
         self.max_states = max_states
         self.max_depth = max_depth
         self.stop_on_violation = stop_on_violation
+        if self.collect_graph and engine == "fingerprint":
+            raise ValueError(
+                "the fingerprint engine cannot collect a state graph; "
+                "use engine='states' (or 'auto') when collect_graph or "
+                "temporal-property checking is requested"
+            )
+        self.engine = engine
 
     # ------------------------------------------------------------------------------
     def run(self) -> CheckResult:
         """Explore the reachable state space and return a :class:`CheckResult`."""
-        spec = self.spec
-        result = CheckResult(spec_name=spec.name)
+        result = CheckResult(spec_name=self.spec.name)
         started = time.perf_counter()
+        if self.collect_graph or self.engine == "states":
+            result.engine = "states"
+            self._run_states(result)
+        else:
+            result.engine = "fingerprint"
+            self._run_fingerprint(result)
+        result.duration_seconds = time.perf_counter() - started
 
+        # Temporal properties -----------------------------------------------------
+        if (
+            result.graph is not None
+            and self.check_properties
+            and self.spec.properties
+            and result.invariant_violation is None
+            and not result.truncated
+        ):
+            for prop in self.spec.properties:
+                result.property_outcomes.append(result.graph.check_property(prop))
+        return result
+
+    # Fingerprint engine ---------------------------------------------------------
+    def _run_fingerprint(self, result: CheckResult) -> None:
+        """Level-batched BFS over interned 64-bit state fingerprints.
+
+        Only the current and next frontier hold live ``State`` objects; the
+        visited set and the parent map (used for counterexample replay) are
+        pure fingerprint-to-fingerprint structures, mirroring how TLC's disk
+        fingerprint set lets it check paper-scale state spaces.
+        """
+        spec = self.spec
+        cache = FingerprintCache()
+        visited: Set[int] = set()
+        parents: Dict[int, Tuple[Optional[int], Optional[str]]] = {}
+        action_counts: Dict[str, int] = {act.name: 0 for act in spec.actions}
+        frontier: List[Tuple[State, int]] = []
+        stop = False
+
+        def record_violation(fp: int, inv_name: str) -> InvariantViolation:
+            return InvariantViolation(
+                f"invariant {inv_name!r} violated by specification {spec.name!r}",
+                property_name=inv_name,
+                trace=self._replay(fp, parents),
+            )
+
+        # Initial states --------------------------------------------------------
+        for state in spec.initial_states():
+            result.generated_states += 1
+            fp = state.fingerprint(cache)
+            if fp in visited:
+                continue
+            visited.add(fp)
+            parents[fp] = (None, None)
+            violated = spec.violated_invariant(state)
+            if violated is not None:
+                result.invariant_violation = record_violation(fp, violated.name)
+                if self.stop_on_violation:
+                    stop = True
+                    break
+            if spec.within_constraint(state):
+                frontier.append((state, fp))
+        result.peak_frontier = len(frontier)
+
+        # Breadth-first exploration, one depth level per batch ------------------
+        depth = 0
+        while frontier and not stop:
+            if self.max_depth is not None and depth >= self.max_depth:
+                result.truncated = True
+                break
+            next_frontier: List[Tuple[State, int]] = []
+            for state, fp in frontier:
+                if self.max_states is not None and len(visited) >= self.max_states:
+                    result.truncated = True
+                    stop = True
+                    break
+                successors = spec.successors(state)
+                if not successors and self.check_deadlock:
+                    result.deadlock = DeadlockError(
+                        f"deadlock reached in specification {spec.name!r}",
+                        trace=self._replay(fp, parents),
+                    )
+                    if self.stop_on_violation:
+                        stop = True
+                        break
+                for action_name, nxt in successors:
+                    result.generated_states += 1
+                    action_counts[action_name] += 1
+                    nfp = nxt.fingerprint(cache)
+                    if nfp in visited:
+                        continue
+                    visited.add(nfp)
+                    parents[nfp] = (fp, action_name)
+                    result.max_depth = max(result.max_depth, depth + 1)
+                    violated = spec.violated_invariant(nxt)
+                    if violated is not None:
+                        result.invariant_violation = record_violation(nfp, violated.name)
+                        if self.stop_on_violation:
+                            stop = True
+                            break
+                    if spec.within_constraint(nxt):
+                        next_frontier.append((nxt, nfp))
+                if stop:
+                    break
+            frontier = next_frontier
+            result.peak_frontier = max(result.peak_frontier, len(frontier))
+            depth += 1
+
+        result.distinct_states = len(visited)
+        result.action_counts = action_counts
+
+    def _replay(
+        self,
+        target_fp: int,
+        parents: Dict[int, Tuple[Optional[int], Optional[str]]],
+    ) -> List[State]:
+        """Rebuild the behaviour leading to ``target_fp`` by forward replay.
+
+        The fingerprint engine does not retain visited states, so the
+        counterexample is reconstructed the way TLC does it: walk the parent
+        fingerprints back to an initial state, then re-execute the recorded
+        action names forward, selecting at each step the successor whose
+        fingerprint matches the recorded one.
+        """
+        chain: List[Tuple[int, Optional[str]]] = []
+        cursor: Optional[int] = target_fp
+        while cursor is not None:
+            parent, action_name = parents[cursor]
+            chain.append((cursor, action_name))
+            cursor = parent
+        chain.reverse()
+
+        first_fp = chain[0][0]
+        state: Optional[State] = None
+        for candidate in self.spec.initial_states():
+            if candidate.fingerprint() == first_fp:
+                state = candidate
+                break
+        if state is None:  # pragma: no cover - only reachable via fp collision
+            raise CheckerError(
+                f"counterexample replay failed: no initial state of "
+                f"{self.spec.name!r} has fingerprint {first_fp}"
+            )
+        trace = [state]
+        for next_fp, action_name in chain[1:]:
+            assert action_name is not None
+            action = self.spec.action_named(action_name)
+            for successor in action.successors(state):
+                if successor.fingerprint() == next_fp:
+                    state = successor
+                    break
+            else:  # pragma: no cover - only reachable via fp collision
+                raise CheckerError(
+                    f"counterexample replay failed at action {action_name!r}: "
+                    f"no successor has fingerprint {next_fp}"
+                )
+            trace.append(state)
+        return trace
+
+    # State-retaining engine -----------------------------------------------------
+    def _run_states(self, result: CheckResult) -> None:
+        """The original engine: every distinct state object is retained.
+
+        Required when the state graph is collected (temporal properties,
+        MBTCG's DOT export) because graph nodes must resolve back to states.
+        """
+        spec = self.spec
         graph = StateGraph() if self.collect_graph else None
         discovered: Dict[State, int] = {}
         parents: Dict[int, Tuple[Optional[int], Optional[str]]] = {}
@@ -139,12 +330,12 @@ class ModelChecker:
                 result.invariant_violation = record_violation(state_id, violated.name)
                 if self.stop_on_violation:
                     result.distinct_states = len(discovered)
-                    result.duration_seconds = time.perf_counter() - started
                     result.action_counts = action_counts
                     result.graph = graph
-                    return result
+                    return
             if spec.within_constraint(state):
                 queue.append(state)
+        result.peak_frontier = len(queue)
 
         # Breadth-first exploration ------------------------------------------------
         while queue:
@@ -184,23 +375,11 @@ class ModelChecker:
                         break
                 if spec.within_constraint(nxt):
                     queue.append(nxt)
-
-        # Temporal properties -------------------------------------------------------
-        if (
-            graph is not None
-            and self.check_properties
-            and spec.properties
-            and result.invariant_violation is None
-            and not result.truncated
-        ):
-            for prop in spec.properties:
-                result.property_outcomes.append(graph.check_property(prop))
+            result.peak_frontier = max(result.peak_frontier, len(queue))
 
         result.distinct_states = len(discovered)
-        result.duration_seconds = time.perf_counter() - started
         result.action_counts = action_counts
         result.graph = graph
-        return result
 
     # ------------------------------------------------------------------------------
     @staticmethod
@@ -230,6 +409,7 @@ def check_spec(
     max_states: Optional[int] = None,
     max_depth: Optional[int] = None,
     raise_on_violation: bool = False,
+    engine: str = "auto",
 ) -> CheckResult:
     """Convenience wrapper: build a checker, run it, optionally raise.
 
@@ -244,6 +424,7 @@ def check_spec(
         check_properties=check_properties,
         max_states=max_states,
         max_depth=max_depth,
+        engine=engine,
     )
     result = checker.run()
     if raise_on_violation:

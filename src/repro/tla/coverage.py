@@ -65,6 +65,24 @@ class CoverageReport:
             trace_count=self.trace_count + other.trace_count,
         )
 
+    def absorb(self, other: "CoverageReport") -> "CoverageReport":
+        """In-place variant of :meth:`merge`, returning ``self``.
+
+        :meth:`merge` copies the fingerprint set, which makes folding the
+        per-trace reports of a large batch quadratic; the batch runner absorbs
+        each report into one accumulator instead.
+        """
+        if other.spec_name != self.spec_name:
+            raise ValueError(
+                f"cannot merge coverage of {other.spec_name!r} into {self.spec_name!r}"
+            )
+        self.visited_fingerprints |= other.visited_fingerprints
+        for name, count in other.action_counts.items():
+            self.action_counts[name] = self.action_counts.get(name, 0) + count
+        self.reachable_count = self.reachable_count or other.reachable_count
+        self.trace_count += other.trace_count
+        return self
+
     # Serialization -------------------------------------------------------------------
     def to_json(self) -> str:
         payload: Dict[str, Any] = {

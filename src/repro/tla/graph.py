@@ -9,6 +9,7 @@ RaftMongo's temporal property ("the commit point is eventually propagated").
 
 from __future__ import annotations
 
+import random
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
@@ -138,6 +139,35 @@ class StateGraph:
                 continue
             for edge in edges:
                 stack.append((path + [(edge.action, edge.target)], edge.target))
+
+    def random_walk(
+        self,
+        rng: "random.Random",
+        *,
+        max_length: int,
+    ) -> List[Tuple[Optional[str], State]]:
+        """Sample one behaviour by walking random edges from a random initial state.
+
+        The walk stops at ``max_length`` states or at a terminal node.  This
+        pulls known-valid behaviours out of an already-explored graph (the
+        test suite uses it to source traces for MBTC checks); the pipeline's
+        workload generator instead re-runs spec actions so it works without a
+        prior full exploration.
+        """
+        if max_length < 1:
+            raise SpecError("random_walk needs max_length >= 1")
+        if not self._initial:
+            raise SpecError("graph has no initial states to walk from")
+        node = rng.choice(self._initial)
+        path: List[Tuple[Optional[str], State]] = [(None, self._states[node])]
+        while len(path) < max_length:
+            edges = self._outgoing.get(node)
+            if not edges:
+                break
+            edge = rng.choice(edges)
+            node = edge.target
+            path.append((edge.action, self._states[node]))
+        return path
 
     # Liveness ------------------------------------------------------------------------
     def to_networkx(self) -> "nx.MultiDiGraph":

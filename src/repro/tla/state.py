@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, Iterator, Mapping, Sequence, Tuple
 
 from .errors import SpecError
-from .values import fingerprint, freeze, thaw
+from .values import FingerprintCache, fingerprint, freeze, thaw
 
 __all__ = ["State", "VariableSchema"]
 
@@ -61,7 +61,7 @@ class VariableSchema:
 class State(Mapping[str, Any]):
     """An immutable assignment of values to the variables of a schema."""
 
-    __slots__ = ("schema", "values", "_hash")
+    __slots__ = ("schema", "values", "_hash", "_fp")
 
     def __init__(self, schema: VariableSchema, values: Mapping[str, Any]) -> None:
         missing = [name for name in schema.names if name not in values]
@@ -75,6 +75,7 @@ class State(Mapping[str, Any]):
         )
         object.__setattr__(self, "schema", schema)
         object.__setattr__(self, "_hash", hash((schema.names, self.values)))
+        object.__setattr__(self, "_fp", None)
 
     # Mapping interface -------------------------------------------------------
     def __getitem__(self, name: str) -> Any:
@@ -125,6 +126,7 @@ class State(Mapping[str, Any]):
         object.__setattr__(state, "schema", schema)
         object.__setattr__(state, "values", values)
         object.__setattr__(state, "_hash", hash((schema.names, values)))
+        object.__setattr__(state, "_fp", None)
         return state
 
     # Introspection -----------------------------------------------------------
@@ -144,6 +146,19 @@ class State(Mapping[str, Any]):
         """True when every observed variable has the observed value."""
         return all(self[name] == freeze(value) for name, value in observation.items())
 
-    def fingerprint(self) -> int:
-        """Stable 64-bit fingerprint, independent of process hash seeds."""
-        return fingerprint(self.values)
+    def fingerprint(self, cache: "FingerprintCache | None" = None) -> int:
+        """Stable 64-bit fingerprint, independent of process hash seeds.
+
+        Computed lazily and memoized on the state.  The fingerprint-interned
+        checker passes its per-run :class:`~repro.tla.values.FingerprintCache`
+        so that per-variable sub-values, which recur across states, are
+        fingerprinted once; the result is identical with or without a cache.
+        """
+        cached = self._fp
+        if cached is None:
+            if cache is not None:
+                cached = cache.state_values_fingerprint(self.values)
+            else:
+                cached = fingerprint(self.values, frozen=True)
+            object.__setattr__(self, "_fp", cached)
+        return cached

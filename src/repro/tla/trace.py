@@ -26,7 +26,52 @@ from .errors import TraceInitialStateMismatch, TraceMismatch
 from .spec import Specification
 from .state import State
 
-__all__ = ["TraceCheckResult", "check_partial_trace", "check_trace"]
+__all__ = [
+    "SuccessorCache",
+    "TraceCheckResult",
+    "check_partial_trace",
+    "check_trace",
+    "explain_failure",
+]
+
+
+class SuccessorCache:
+    """Memoized successor lookup shared across many trace checks.
+
+    Batch trace checking (paper Section 4.2.4: running MBTC over every CI
+    execution) evaluates ``spec.successors`` for the same states over and over
+    -- different traces of one workload wander through the same region of the
+    state space.  This cache memoizes the successor list per state so each
+    distinct state's actions are evaluated once per batch.  Reads and writes
+    are plain dict operations, so a single instance can be shared by the
+    thread pool of :mod:`repro.pipeline.runner`; the ``hits``/``misses``
+    counters are unsynchronized and therefore approximate under concurrency
+    (they inform a summary line, nothing more).
+    """
+
+    __slots__ = ("spec", "max_entries", "_cache", "hits", "misses")
+
+    def __init__(self, spec: Specification, *, max_entries: int = 250_000) -> None:
+        self.spec = spec
+        self.max_entries = max_entries
+        self._cache: Dict[State, List[Tuple[str, State]]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def successors(self, state: State) -> List[Tuple[str, State]]:
+        found = self._cache.get(state)
+        if found is not None:
+            self.hits += 1
+            return found
+        self.misses += 1
+        computed = self.spec.successors(state)
+        if len(self._cache) >= self.max_entries:
+            self._cache.clear()
+        self._cache[state] = computed
+        return computed
+
+    def __len__(self) -> int:
+        return len(self._cache)
 
 
 @dataclass
@@ -42,6 +87,19 @@ class TraceCheckResult:
     matched_actions: List[Optional[str]] = field(default_factory=list)
     stuttering_steps: int = 0
     frontier_sizes: List[int] = field(default_factory=list)
+
+    def validated_prefix(self, states: Sequence[State]) -> List[State]:
+        """The states this check actually witnessed as a behaviour prefix.
+
+        Coverage accounting must only count these: states past the failing
+        transition were never checked and may not even be reachable, and a
+        trace rejected at its first state witnessed nothing.
+        """
+        if self.ok:
+            return list(states)
+        if isinstance(self.failure, TraceInitialStateMismatch):
+            return []
+        return list(states[: (self.failure_index or 0) + 1])
 
     def summary(self) -> str:
         """One-line verdict, analogous to the MBTC pass/fail of paper Figure 1."""
@@ -69,6 +127,7 @@ def check_trace(
     *,
     allow_stuttering: bool = True,
     require_initial: bool = True,
+    successor_cache: Optional[SuccessorCache] = None,
 ) -> TraceCheckResult:
     """Check that ``trace`` (fully-observed states) is a behaviour of ``spec``.
 
@@ -103,7 +162,7 @@ def check_trace(
             result.stuttering_steps += 1
             result.checked_steps += 1
             continue
-        matched = _matching_action(spec, current, nxt)
+        matched = _matching_action(spec, current, nxt, successor_cache)
         if matched is None:
             result.ok = False
             result.failure_index = index
@@ -119,8 +178,18 @@ def check_trace(
     return result
 
 
-def _matching_action(spec: Specification, current: State, nxt: State) -> Optional[str]:
-    for action_name, successor in spec.successors(current):
+def _matching_action(
+    spec: Specification,
+    current: State,
+    nxt: State,
+    successor_cache: Optional[SuccessorCache] = None,
+) -> Optional[str]:
+    successors = (
+        successor_cache.successors(current)
+        if successor_cache is not None
+        else spec.successors(current)
+    )
+    for action_name, successor in successors:
         if successor == nxt:
             return action_name
     return None

@@ -18,11 +18,13 @@ to compare.  This module provides:
 
 from __future__ import annotations
 
+import struct
 import zlib
 from typing import Any, Iterable, Iterator, Mapping, Tuple
 
 __all__ = [
     "NULL",
+    "FingerprintCache",
     "Record",
     "append",
     "fingerprint",
@@ -73,7 +75,7 @@ class Record(Mapping[str, Any]):
     :meth:`except_` for the TLA+ ``EXCEPT`` update idiom.
     """
 
-    __slots__ = ("_items", "_hash")
+    __slots__ = ("_items", "_hash", "_lookup", "_fp")
 
     def __init__(self, *args: Mapping[str, Any], **fields: Any) -> None:
         merged: dict[str, Any] = {}
@@ -83,13 +85,15 @@ class Record(Mapping[str, Any]):
         frozen = {key: freeze(value) for key, value in merged.items()}
         object.__setattr__(self, "_items", tuple(sorted(frozen.items())))
         object.__setattr__(self, "_hash", hash(self._items))
+        object.__setattr__(self, "_lookup", dict(self._items))
+        object.__setattr__(self, "_fp", None)
 
     # Mapping interface -----------------------------------------------------
     def __getitem__(self, key: str) -> Any:
-        for name, value in self._items:
-            if name == key:
-                return value
-        raise KeyError(key)
+        try:
+            return self._lookup[key]
+        except KeyError:
+            raise KeyError(key) from None
 
     def __iter__(self) -> Iterator[str]:
         return (name for name, _ in self._items)
@@ -213,30 +217,108 @@ def last(sequence: Tuple[Any, ...]) -> Any:
     return sequence[-1]
 
 
-def _canonical_repr(value: Any) -> str:
+_FP_PACK = struct.Struct("<Q").pack
+
+
+def _digest(data: bytes) -> int:
+    """Fold a byte string into 64 bits, stable across processes and runs."""
+    return (zlib.adler32(data) << 32) | zlib.crc32(data)
+
+
+def _fp_of(value: Any, memo: "dict[Any, int] | None") -> int:
+    """Structural fingerprint: combine child fingerprints, no string building.
+
+    Records cache their fingerprint on the instance (they are immutable and
+    shared across the BFS frontier); tuples and frozensets optionally go
+    through ``memo``, the equality-keyed sub-value cache a
+    :class:`FingerprintCache` carries for the duration of one checker run.
+    """
     if isinstance(value, Record):
-        inner = ",".join(f"{k}:{_canonical_repr(v)}" for k, v in value.items())
-        return "{" + inner + "}"
+        cached = value._fp
+        if cached is None:
+            data = b"R" + b"".join(
+                key.encode("utf-8") + b"\0" + _FP_PACK(_fp_of(item, memo))
+                for key, item in value._items
+            )
+            cached = _digest(data)
+            object.__setattr__(value, "_fp", cached)
+        return cached
     if isinstance(value, tuple):
-        return "[" + ",".join(_canonical_repr(item) for item in value) + "]"
-    if isinstance(value, frozenset):
-        return "(" + ",".join(sorted(_canonical_repr(item) for item in value)) + ")"
-    return repr(value)
+        if memo is not None:
+            cached = memo.get(value)
+            if cached is not None:
+                return cached
+        result = _digest(b"T" + b"".join(_FP_PACK(_fp_of(item, memo)) for item in value))
+    elif isinstance(value, frozenset):
+        if memo is not None:
+            cached = memo.get(value)
+            if cached is not None:
+                return cached
+        result = _digest(b"S" + b"".join(sorted(_FP_PACK(_fp_of(item, memo)) for item in value)))
+    else:
+        # Primitives: repr disambiguates types (True vs 1 vs "1" vs 1.0 all
+        # render differently) and is stable across processes.
+        return _digest(b"P" + repr(value).encode("utf-8"))
+    if memo is not None:
+        if len(memo) >= FingerprintCache.MAX_ENTRIES:
+            memo.clear()
+        memo[value] = result
+    return result
 
 
-def fingerprint(value: Any) -> int:
+def fingerprint(value: Any, *, frozen: bool = False) -> int:
     """Return a stable 64-bit fingerprint of a frozen value.
 
     Python's built-in ``hash`` is randomized per process for strings, which
     would make fingerprints unusable for cross-run coverage merging (one of
-    the TLC gaps the paper calls out in Section 4.2.4).  We therefore compute
-    a CRC-based fingerprint of the canonical representation, which is stable
-    across processes and runs.
+    the TLC gaps the paper calls out in Section 4.2.4).  We therefore combine
+    CRC-based digests over the value structure, which is stable across
+    processes and runs.
+
+    ``frozen=True`` skips the defensive :func:`freeze` walk; callers such as
+    :meth:`repro.tla.state.State.fingerprint` whose values are frozen by
+    construction use it to avoid rebuilding the value tree on every call.
     """
-    text = _canonical_repr(freeze(value)).encode("utf-8")
-    low = zlib.crc32(text)
-    high = zlib.adler32(text)
-    return (high << 32) | low
+    if not frozen:
+        value = freeze(value)
+    return _fp_of(value, None)
+
+
+class FingerprintCache:
+    """Sub-value fingerprint memo for one model-checking or batch-checking run.
+
+    Successor states share most of their per-variable values with their
+    parents, and distinct per-variable values recur across the state space far
+    more often than whole states do, so memoizing them makes fingerprint
+    interning roughly as fast as Python-hash interning while the visited set
+    stays a plain set of ints.  The top-level value handed to
+    :meth:`state_values_fingerprint` is deliberately *not* memoized: state
+    tuples are unique, and caching them would retain the entire state space --
+    exactly what the fingerprint engine exists to avoid.
+    """
+
+    MAX_ENTRIES = 1_000_000
+
+    __slots__ = ("_memo",)
+
+    def __init__(self) -> None:
+        self._memo: dict[Any, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def value_fingerprint(self, value: Any) -> int:
+        """Fingerprint one (frozen) value, memoizing it and its sub-values."""
+        return _fp_of(value, self._memo)
+
+    def state_values_fingerprint(self, values: Tuple[Any, ...]) -> int:
+        """Fingerprint a state's values tuple without memoizing the tuple itself.
+
+        Returns exactly what ``fingerprint(values, frozen=True)`` returns.
+        """
+        return _digest(
+            b"T" + b"".join(_FP_PACK(_fp_of(item, self._memo)) for item in values)
+        )
 
 
 def make_iterable(value: Any) -> Iterable[Any]:

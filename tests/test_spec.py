@@ -1,0 +1,92 @@
+"""Unit tests for specifications, actions and invariants (repro.tla.spec)."""
+
+import pytest
+
+from repro.tla import Action, Invariant, Specification, action, invariant
+from repro.tla.errors import EvaluationError, SpecError
+
+
+@pytest.fixture()
+def spec(counter_spec):
+    return counter_spec
+
+
+class TestDecorators:
+    def test_action_decorator_wraps_a_generator(self):
+        @action("Tick")
+        def tick(state):
+            yield {"x": state["x"] + 1}
+
+        assert isinstance(tick, Action)
+        assert tick.name == "Tick"
+
+    def test_action_decorator_defaults_to_function_name(self):
+        @action()
+        def tock(state):
+            yield {"x": 0}
+
+        assert tock.name == "tock"
+
+    def test_invariant_decorator(self):
+        @invariant("NonNegative")
+        def non_negative(state):
+            return state["x"] >= 0
+
+        assert isinstance(non_negative, Invariant)
+        assert non_negative.name == "NonNegative"
+
+
+class TestSpecification:
+    def test_initial_states_and_make_state(self, spec):
+        (initial,) = spec.initial_states()
+        assert initial == spec.make_state(x=0)
+
+    def test_successors_pair_action_names_with_states(self, spec):
+        (initial,) = spec.initial_states()
+        successors = spec.successors(initial)
+        assert successors == [("Increment", spec.make_state(x=1))]
+
+    def test_enabled_actions_reflect_guards(self, spec):
+        assert spec.enabled_actions(spec.make_state(x=0)) == ["Increment"]
+        assert spec.enabled_actions(spec.make_state(x=5)) == []
+
+    def test_action_named_lookup(self, spec):
+        assert spec.action_named("Increment").name == "Increment"
+        with pytest.raises(SpecError):
+            spec.action_named("Decrement")
+
+    def test_duplicate_action_names_rejected(self):
+        act = Action("A", lambda state: [])
+        with pytest.raises(SpecError):
+            Specification(
+                "Dup",
+                variables=("x",),
+                init=lambda: [{"x": 0}],
+                actions=[act, Action("A", lambda state: [])],
+            )
+
+    def test_spec_without_actions_rejected(self):
+        with pytest.raises(SpecError):
+            Specification(
+                "Empty", variables=("x",), init=lambda: [{"x": 0}], actions=[]
+            )
+
+    def test_raising_action_is_wrapped_with_context(self):
+        def boom(state):
+            raise RuntimeError("bad")
+
+        spec = Specification(
+            "Boom", variables=("x",), init=lambda: [{"x": 0}], actions=[Action("B", boom)]
+        )
+        (initial,) = spec.initial_states()
+        with pytest.raises(EvaluationError) as info:
+            spec.successors(initial)
+        assert info.value.action == "B"
+
+    def test_violated_invariant_returns_first_failing(self):
+        from conftest import make_counter_spec
+
+        spec = make_counter_spec(limit=5, invariant_bound=3)
+        assert spec.violated_invariant(spec.make_state(x=2)) is None
+        violated = spec.violated_invariant(spec.make_state(x=3))
+        assert violated is not None and violated.name == "Bounded"
