@@ -8,12 +8,15 @@ pipeline:
   stream merging and trace reconstruction,
 * :mod:`~repro.pipeline.workload` -- synthetic executions (valid or
   fault-injected) generated straight from a specification,
-* :mod:`~repro.pipeline.runner` -- concurrent batch checking with a shared
-  successor cache and merged coverage,
-* :mod:`~repro.pipeline.registry` -- name-based spec construction for the
-  ``python -m repro`` CLI in :mod:`~repro.pipeline.cli`.
+* :mod:`~repro.pipeline.runner` -- concurrent batch checking (thread or
+  process executors) with successor caching and merged coverage,
+* :mod:`~repro.pipeline.registry` -- the CLI-facing view of the spec registry
+  in :mod:`repro.tla.registry`,
+* :mod:`~repro.pipeline.bench` -- the states/sec / traces/sec benchmark
+  harness behind ``python -m repro bench``.
 """
 
+from .bench import BenchConfig, run_bench
 from .logs import (
     LogEvent,
     LogParseError,
@@ -26,11 +29,13 @@ from .logs import (
     write_log_file,
 )
 from .registry import SPECS, SpecEntry, build_spec_by_name
-from .runner import BatchReport, TraceOutcome, check_traces
+from .runner import EXECUTORS, BatchReport, TraceOutcome, check_traces
 from .workload import GeneratedTrace, generate_trace, generate_workload
 
 __all__ = [
     "BatchReport",
+    "BenchConfig",
+    "EXECUTORS",
     "GeneratedTrace",
     "LogEvent",
     "LogParseError",
@@ -46,6 +51,7 @@ __all__ = [
     "merge_event_streams",
     "parse_log_lines",
     "read_log_files",
+    "run_bench",
     "trace_from_logs",
     "write_log_file",
 ]

@@ -1,0 +1,280 @@
+"""Benchmark harness: states/sec and traces/sec for every engine × worker count.
+
+The paper's premise is that exhaustive checking (42,034 and 371,368 states
+for the two RaftMongo variants) and CI-scale batch trace checking must be
+fast enough to run routinely.  This harness records where this reproduction
+stands after every PR: it times
+
+* model checking with the ``states``, ``fingerprint`` and ``parallel``
+  engines (the latter across a list of worker counts), and
+* batch trace checking with the ``thread`` and ``process`` executors,
+
+on the registered specification families, and writes one JSON document
+(``BENCH_results.json``) with wall times, states/sec, traces/sec, peak
+frontier sizes and speedups relative to the serial ``fingerprint`` baseline.
+CI runs ``python -m repro bench --smoke`` and uploads the JSON as an
+artifact, so the perf trajectory is recorded per commit.
+
+A machine note is appended whenever the hardware cannot show a parallel
+speedup (``os.cpu_count() == 1``): multiprocessing cannot beat serial
+execution without a second core, and pretending otherwise would poison the
+trajectory data.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..tla import check_spec
+from ..tla.registry import build_spec
+from .runner import check_traces
+from .workload import generate_workload
+
+__all__ = ["BenchConfig", "run_bench", "summarize", "write_results"]
+
+SCHEMA_VERSION = 1
+
+#: (registry name, params) pairs benchmarked by default.  The second locking
+#: configuration triples the thread count so the parallel engine has a state
+#: space wide enough to amortize shard pickling.
+DEFAULT_SPECS: Tuple[Tuple[str, Dict[str, Any]], ...] = (
+    ("locking", {}),
+    ("locking", {"n_threads": 3}),
+    ("raftmongo", {"variant": "original"}),
+    ("raftmongo", {"variant": "mbtc", "n_nodes": 2}),
+)
+
+SMOKE_SPECS: Tuple[Tuple[str, Dict[str, Any]], ...] = (
+    ("locking", {}),
+    ("raftmongo", {"variant": "mbtc", "n_nodes": 2}),
+)
+
+
+@dataclass
+class BenchConfig:
+    """What to measure; ``smoke`` shrinks everything to CI-smoke scale."""
+
+    specs: Sequence[Tuple[str, Dict[str, Any]]] = DEFAULT_SPECS
+    worker_counts: Sequence[int] = (1, 2, 4)
+    n_traces: int = 400
+    trace_seed: int = 42
+    fault_rate: float = 0.1
+    smoke: bool = False
+
+    @classmethod
+    def smoke_config(cls) -> "BenchConfig":
+        return cls(
+            specs=SMOKE_SPECS,
+            worker_counts=(1, 2),
+            n_traces=60,
+            smoke=True,
+        )
+
+
+def _spec_label(name: str, params: Dict[str, Any]) -> str:
+    if not params:
+        return name
+    inner = ",".join(f"{key}={params[key]}" for key in sorted(params))
+    return f"{name}[{inner}]"
+
+
+def _time_check(
+    name: str, params: Dict[str, Any], engine: str, workers: Optional[int]
+) -> Dict[str, Any]:
+    spec = build_spec(name, **params)
+    result = check_spec(
+        spec, check_properties=False, engine=engine, workers=workers
+    )
+    wall = result.duration_seconds
+    return {
+        "spec": name,
+        "params": params,
+        "label": _spec_label(name, params),
+        "engine": engine,
+        "workers": result.workers if engine == "parallel" else 1,
+        "wall_seconds": round(wall, 6),
+        "distinct_states": result.distinct_states,
+        "generated_states": result.generated_states,
+        "max_depth": result.max_depth,
+        "peak_frontier": result.peak_frontier,
+        "states_per_second": round(result.generated_states / wall, 1) if wall else None,
+        "ok": result.ok,
+    }
+
+
+def _time_traces(
+    spec: Any,
+    name: str,
+    params: Dict[str, Any],
+    executor: str,
+    workers: int,
+    workload: List[Any],
+) -> Dict[str, Any]:
+    report = check_traces(spec, workload, workers=workers, executor=executor)
+    return {
+        "spec": name,
+        "params": params,
+        "label": _spec_label(name, params),
+        "executor": executor,
+        "workers": workers,
+        "traces": report.total,
+        "wall_seconds": round(report.duration_seconds, 6),
+        "traces_per_second": round(report.traces_per_second, 1),
+        "passed": report.passed,
+        "failed": report.failed,
+        "unexpected_verdicts": len(report.surprises),
+        "cache_hits": report.cache_hits,
+        "cache_misses": report.cache_misses,
+    }
+
+
+def _attach_speedups(rows: List[Dict[str, Any]], baseline_of: Callable[[Dict[str, Any]], bool]) -> None:
+    """Add ``speedup_vs_serial`` to every row, per spec label."""
+    baselines: Dict[str, float] = {}
+    for row in rows:
+        if baseline_of(row) and row["wall_seconds"]:
+            baselines[row["label"]] = row["wall_seconds"]
+    for row in rows:
+        base = baselines.get(row["label"])
+        if base and row["wall_seconds"]:
+            row["speedup_vs_serial"] = round(base / row["wall_seconds"], 2)
+        else:
+            row["speedup_vs_serial"] = None
+
+
+def run_bench(
+    config: Optional[BenchConfig] = None,
+    *,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Run the full benchmark matrix and return the results document."""
+    cfg = config or BenchConfig()
+    say = progress or (lambda message: None)
+    cpu_count = os.cpu_count() or 1
+
+    checking_rows: List[Dict[str, Any]] = []
+    for name, params in cfg.specs:
+        label = _spec_label(name, params)
+        for engine in ("states", "fingerprint"):
+            say(f"model-check {label} engine={engine}")
+            checking_rows.append(_time_check(name, params, engine, None))
+        for workers in cfg.worker_counts:
+            say(f"model-check {label} engine=parallel workers={workers}")
+            checking_rows.append(_time_check(name, params, "parallel", workers))
+    _attach_speedups(checking_rows, lambda row: row["engine"] == "fingerprint")
+
+    trace_rows: List[Dict[str, Any]] = []
+    for name, params in cfg.specs:
+        label = _spec_label(name, params)
+        spec = build_spec(name, **params)
+        # One workload per spec, reused by every executor/worker row (it is
+        # outside the timed region; regenerating it per row is pure waste).
+        workload = list(
+            generate_workload(
+                spec,
+                n_traces=cfg.n_traces,
+                seed=cfg.trace_seed,
+                fault_rate=cfg.fault_rate,
+            )
+        )
+        # Thread mode is GIL-bound, so two points suffice -- but workers=1 is
+        # always among them: it is the serial baseline every speedup is
+        # computed against, whatever --workers-list says.
+        thread_counts = sorted({1, max(cfg.worker_counts)})
+        for executor, counts in (("thread", thread_counts), ("process", cfg.worker_counts)):
+            for workers in counts:
+                say(f"trace-check {label} executor={executor} workers={workers}")
+                trace_rows.append(
+                    _time_traces(spec, name, params, executor, workers, workload)
+                )
+    _attach_speedups(
+        trace_rows,
+        lambda row: row["executor"] == "thread" and row["workers"] == 1,
+    )
+
+    notes: List[str] = []
+    if cpu_count == 1:
+        notes.append(
+            "cpu_count=1: this machine has a single CPU core, so the parallel "
+            "engine and the process executor cannot run shards concurrently; "
+            "multi-worker rows measure pure coordination overhead and no "
+            "speedup over serial is achievable here.  Re-run on a multi-core "
+            "machine to observe the >1.5x target."
+        )
+    else:
+        best = max(
+            (
+                row["speedup_vs_serial"]
+                for row in checking_rows
+                if row["engine"] == "parallel" and row["speedup_vs_serial"]
+            ),
+            default=None,
+        )
+        if best is not None and best < 1.5:
+            notes.append(
+                f"best parallel speedup {best}x on cpu_count={cpu_count}: the "
+                "benchmarked state spaces may be too small to amortize "
+                "process-pool startup and shard pickling on this machine."
+            )
+    if cfg.smoke:
+        notes.append(
+            "smoke mode: shrunken spec list, worker counts and trace batch; "
+            "numbers track trends, not absolute throughput."
+        )
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "environment": {
+            "python": sys.version.split()[0],
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+            "cpu_count": cpu_count,
+            "smoke": cfg.smoke,
+        },
+        "model_checking": checking_rows,
+        "trace_checking": trace_rows,
+        "notes": notes,
+    }
+
+
+def write_results(results: Dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def summarize(results: Dict[str, Any]) -> str:
+    """Human-readable digest of a results document, for the CLI."""
+    lines = [
+        f"benchmarked on {results['environment']['platform']} "
+        f"(cpu_count={results['environment']['cpu_count']})"
+    ]
+    lines.append("model checking (states/sec; speedup vs serial fingerprint):")
+    for row in results["model_checking"]:
+        workers = f" workers={row['workers']}" if row["engine"] == "parallel" else ""
+        speedup = (
+            f" ({row['speedup_vs_serial']}x)" if row.get("speedup_vs_serial") else ""
+        )
+        lines.append(
+            f"  {row['label']:<28} {row['engine']:<11}{workers:<11} "
+            f"{row['wall_seconds']:.3f}s  {row['states_per_second']} st/s{speedup}"
+        )
+    lines.append("batch trace checking (traces/sec; speedup vs 1 thread worker):")
+    for row in results["trace_checking"]:
+        speedup = (
+            f" ({row['speedup_vs_serial']}x)" if row.get("speedup_vs_serial") else ""
+        )
+        lines.append(
+            f"  {row['label']:<28} {row['executor']:<8} workers={row['workers']} "
+            f"{row['wall_seconds']:.3f}s  {row['traces_per_second']} tr/s{speedup}"
+        )
+    for note in results["notes"]:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

@@ -6,7 +6,9 @@ Subcommands mirror the paper's workflow:
 * ``trace``   -- MBTC proper: parse server logs, rebuild the execution trace,
   verify it against the spec, and optionally accumulate coverage,
 * ``simulate``-- the scale path: generate a synthetic workload (optionally
-  fault-injected), batch-check it concurrently, and report merged coverage.
+  fault-injected), batch-check it concurrently, and report merged coverage,
+* ``bench``   -- the perf trajectory: time every engine x worker count on the
+  registered specs and write ``BENCH_results.json``.
 """
 
 from __future__ import annotations
@@ -19,13 +21,15 @@ import sys
 from typing import List, Optional, Sequence
 
 from ..tla import ModelChecker, check_spec
+from ..tla.checker import default_worker_count
 from ..tla.coverage import CoverageReport, coverage_of_trace
 from ..tla.dot import to_dot
 from ..tla.errors import ReproError
 from ..tla.trace import check_trace, explain_failure
+from . import bench as bench_module
 from . import logs as log_module
 from .registry import build_spec_by_name, parse_params, SPECS
-from .runner import check_traces
+from .runner import EXECUTORS, check_traces
 from .workload import generate_workload
 
 __all__ = ["build_parser", "main"]
@@ -52,9 +56,16 @@ def build_parser() -> argparse.ArgumentParser:
     add_spec_arguments(check_p)
     check_p.add_argument(
         "--engine",
-        choices=("auto", "fingerprint", "states"),
+        choices=("auto", "fingerprint", "states", "parallel"),
         default="auto",
-        help="visited-set engine (default: fingerprint unless a graph is needed)",
+        help="visited-set engine (default: fingerprint unless a graph is needed; "
+        "parallel shards each BFS level across worker processes)",
+    )
+    check_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --engine parallel (default: one per CPU core)",
     )
     check_p.add_argument("--max-states", type=int, default=None)
     check_p.add_argument("--max-depth", type=int, default=None)
@@ -101,6 +112,13 @@ def build_parser() -> argparse.ArgumentParser:
     sim_p.add_argument("--stutter-prob", type=float, default=0.0)
     sim_p.add_argument("--workers", type=int, default=4)
     sim_p.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        default="thread",
+        help="batch backend: thread (shared successor cache, GIL-bound) or "
+        "process (one spec + cache per worker process)",
+    )
+    sim_p.add_argument(
         "--log-dir",
         metavar="DIR",
         help="also write the first --log-limit traces as per-node JSON-lines logs",
@@ -111,6 +129,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--with-reachable",
         action="store_true",
         help="model-check first so coverage is a fraction of the reachable space",
+    )
+
+    bench_p = sub.add_parser(
+        "bench", help="time all engines x worker counts; write BENCH_results.json"
+    )
+    bench_p.add_argument(
+        "--out",
+        metavar="FILE",
+        default="BENCH_results.json",
+        help="where to write the JSON results (default: %(default)s)",
+    )
+    bench_p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run: fewer specs, worker counts and traces",
+    )
+    bench_p.add_argument(
+        "--workers-list",
+        metavar="N[,N...]",
+        default=None,
+        help="comma-separated parallel worker counts (default: 1,2,4; smoke: 1,2)",
+    )
+    bench_p.add_argument(
+        "--traces",
+        type=int,
+        default=None,
+        help="batch size for the trace-checking matrix (default: 400; smoke: 60)",
     )
     return parser
 
@@ -129,12 +174,18 @@ def _cmd_check(args: argparse.Namespace) -> int:
     spec, _entry = build_spec_by_name(args.spec, **parse_params(tuple(args.param)))
     collect_graph = bool(args.dot)
     engine = args.engine
-    if collect_graph and engine == "fingerprint":
+    if collect_graph and engine in ("fingerprint", "parallel"):
         print("error: --dot requires the states engine", file=sys.stderr)
         return 2
+    if args.workers is not None and engine != "parallel":
+        print(
+            f"warning: --workers only applies to --engine parallel; "
+            f"the {engine!r} engine runs serially",
+            file=sys.stderr,
+        )
     check_properties = not args.no_properties
-    if engine == "fingerprint" and check_properties and spec.properties:
-        print("note: fingerprint engine skips temporal properties (needs the state graph)")
+    if engine in ("fingerprint", "parallel") and check_properties and spec.properties:
+        print(f"note: {engine} engine skips temporal properties (needs the state graph)")
         check_properties = False
 
     def run():
@@ -146,6 +197,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
             max_states=args.max_states,
             max_depth=args.max_depth,
             engine=engine,
+            workers=args.workers,
         )
         return checker.run()
 
@@ -166,7 +218,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
             "WARNING: exploration truncated by --max-states/--max-depth; "
             "statistics cover only the explored prefix"
         )
-    print(f"engine: {result.engine}; peak frontier {result.peak_frontier} state(s)")
+    workers_note = f" ({result.workers} workers)" if result.engine == "parallel" else ""
+    print(
+        f"engine: {result.engine}{workers_note}; "
+        f"peak frontier {result.peak_frontier} state(s)"
+    )
     for name in sorted(result.action_counts):
         print(f"  {name}: {result.action_counts[name]} transition(s)")
     for outcome in result.property_outcomes:
@@ -185,8 +241,28 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _require_log_metadata(entry) -> bool:
+    """True when the registry entry carries the log-pipeline hooks.
+
+    ``register_spec`` makes them optional (the parallel checker only needs a
+    factory), but ``trace`` and ``simulate --log-dir`` reconstruct per-node
+    logs and cannot work without them.
+    """
+    if entry.per_node_variables is None or entry.node_count is None:
+        print(
+            f"error: specification {entry.name!r} was registered without "
+            "per_node_variables/node_count metadata, which log reconstruction "
+            "requires; pass them to register_spec to enable this command",
+            file=sys.stderr,
+        )
+        return False
+    return True
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     spec, entry = build_spec_by_name(args.spec, **parse_params(tuple(args.param)))
+    if not _require_log_metadata(entry):
+        return 2
     per_node = entry.per_node_variables(spec)
     trace = log_module.trace_from_logs(spec, args.logs, per_node=per_node)
     print(f"rebuilt trace of {len(trace)} state(s) from {len(args.logs)} log file(s)")
@@ -227,6 +303,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         stutter_probability=args.stutter_prob,
     )
     if args.log_dir:
+        if not _require_log_metadata(entry):
+            return 2
         # Materialize only the traces that get written out; the rest of the
         # workload streams straight into the batch runner.
         head = list(itertools.islice(workload, args.log_limit))
@@ -239,6 +317,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         spec,
         workload,
         workers=args.workers,
+        executor=args.executor,
         reachable_count=reachable,
     )
     print(report.summary())
@@ -277,7 +356,40 @@ def _write_workload_logs(spec, entry, traces, log_dir: str) -> int:
     return written
 
 
-_COMMANDS = {"check": _cmd_check, "trace": _cmd_trace, "simulate": _cmd_simulate}
+def _cmd_bench(args: argparse.Namespace) -> int:
+    config = (
+        bench_module.BenchConfig.smoke_config()
+        if args.smoke
+        else bench_module.BenchConfig()
+    )
+    if args.workers_list:
+        try:
+            config.worker_counts = tuple(
+                int(part) for part in args.workers_list.split(",") if part
+            )
+        except ValueError:
+            print(f"error: bad --workers-list {args.workers_list!r}", file=sys.stderr)
+            return 2
+        if not config.worker_counts or min(config.worker_counts) < 1:
+            print("error: --workers-list entries must be >= 1", file=sys.stderr)
+            return 2
+    if args.traces is not None:
+        config.n_traces = args.traces
+    results = bench_module.run_bench(
+        config, progress=lambda message: print(f"bench: {message}", file=sys.stderr)
+    )
+    bench_module.write_results(results, args.out)
+    print(bench_module.summarize(results))
+    print(f"results written to {args.out}")
+    return 0
+
+
+_COMMANDS = {
+    "check": _cmd_check,
+    "trace": _cmd_trace,
+    "simulate": _cmd_simulate,
+    "bench": _cmd_bench,
+}
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -1,50 +1,44 @@
-"""Name-based specification registry for the CLI and batch tooling.
+"""CLI-facing view of the first-class spec registry in :mod:`repro.tla.registry`.
 
-Each entry wires a spec module's pipeline hooks together: a factory building
-the :class:`~repro.tla.spec.Specification` from flat parameters, plus the
-metadata the log layer needs (which variables are per-node, how many nodes).
+The registry itself (name -> factory + pipeline metadata) moved into the core
+library so that worker processes of the parallel checker and the batch runner
+can rebuild specifications by name; this module keeps the CLI-flavoured
+helpers: the live ``SPECS`` mapping used for argparse choices,
+``build_spec_by_name`` returning the ``(spec, entry)`` pair the log pipeline
+needs, and ``key=value`` parameter parsing.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, Tuple
+from typing import Any, Dict, Mapping, Tuple
 
-from ..specs import locking, raft_mongo
 from ..tla import Specification
 from ..tla.errors import SpecError
+from ..tla.registry import SpecEntry, build_spec, get_entry, registered_names
 
 __all__ = ["SPECS", "SpecEntry", "build_spec_by_name", "parse_params"]
 
 
-@dataclass(frozen=True)
-class SpecEntry:
-    """One checkable specification family, addressable by CLI name."""
+class _SpecsView(Mapping[str, SpecEntry]):
+    """Live read-only mapping over the registry (late registrations show up)."""
 
-    name: str
-    description: str
-    factory: Callable[..., Specification]
-    per_node_variables: Callable[[Specification], Tuple[str, ...]]
-    node_count: Callable[[Specification], int]
+    def __getitem__(self, name: str) -> SpecEntry:
+        try:
+            return get_entry(name)
+        except SpecError:
+            raise KeyError(name) from None
+
+    def __iter__(self):
+        return iter(registered_names())
+
+    def __len__(self) -> int:
+        return len(registered_names())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SPECS({registered_names()!r})"
 
 
-SPECS: Dict[str, SpecEntry] = {
-    "locking": SpecEntry(
-        name="locking",
-        description="MongoDB-style hierarchical locking (paper Section 4.2.5)",
-        factory=locking.spec_factory,
-        per_node_variables=locking.per_node_variables,
-        node_count=locking.node_count,
-    ),
-    "raftmongo": SpecEntry(
-        name="raftmongo",
-        description="RaftMongo replication protocol (paper Section 4); "
-        "params: n_nodes, max_term, max_log_len, variant=original|mbtc",
-        factory=raft_mongo.spec_factory,
-        per_node_variables=raft_mongo.per_node_variables,
-        node_count=raft_mongo.node_count,
-    ),
-}
+SPECS: Mapping[str, SpecEntry] = _SpecsView()
 
 
 def parse_params(pairs: Tuple[str, ...]) -> Dict[str, Any]:
@@ -72,13 +66,6 @@ def parse_params(pairs: Tuple[str, ...]) -> Dict[str, Any]:
 
 def build_spec_by_name(name: str, **params: Any) -> Tuple[Specification, SpecEntry]:
     """Build a registered spec; raises :class:`SpecError` for unknown names."""
-    try:
-        entry = SPECS[name]
-    except KeyError:
-        known = ", ".join(sorted(SPECS))
-        raise SpecError(f"unknown specification {name!r}; known: {known}") from None
-    try:
-        spec = entry.factory(**params)
-    except TypeError as exc:
-        raise SpecError(f"bad parameters for {name!r}: {exc}") from exc
+    entry = get_entry(name)
+    spec = build_spec(name, **params)
     return spec, entry

@@ -2,29 +2,46 @@
 
 Paper Section 4.2.4 wants MBTC "deployed to continuous integration": many
 traces, checked concurrently, with one combined coverage number at the end.
-This runner does that in-process: a thread pool checks traces against a
-shared :class:`~repro.tla.trace.SuccessorCache` (different traces of one
-workload revisit the same states, so successor computation amortizes across
-the whole batch), per-trace coverage reports are absorbed into one
-accumulator, and the result prints as a TLC-style summary.
+This runner does that in-process, with two executors:
+
+* ``executor="thread"`` -- a thread pool sharing one
+  :class:`~repro.tla.trace.SuccessorCache` (different traces of one workload
+  revisit the same states, so successor computation amortizes across the
+  whole batch).  Trace checking is pure Python, so threads serialize on the
+  GIL; this mode wins only through the shared cache.
+* ``executor="process"`` -- a process pool for real multi-core throughput.
+  Each worker rebuilds the spec from its registry name (specs are closures
+  and do not pickle; see :mod:`repro.tla.registry`) and keeps a private
+  ``SuccessorCache``; traces are shipped in chunks to amortize pickling, and
+  the per-process cache hit/miss counters are merged into the final report.
+
+Per-trace coverage reports are absorbed into one accumulator either way, and
+the result prints as a TLC-style summary.
 """
 
 from __future__ import annotations
 
 import time
 from collections import deque
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..tla import Specification, State
 from ..tla.coverage import CoverageReport, coverage_of_trace
 from ..tla.trace import SuccessorCache, TraceCheckResult, check_trace, explain_failure
 from .workload import GeneratedTrace
 
-__all__ = ["BatchReport", "TraceOutcome", "check_traces"]
+__all__ = ["BatchReport", "EXECUTORS", "TraceOutcome", "check_traces"]
 
 TraceLike = Union[GeneratedTrace, Sequence[State]]
+
+EXECUTORS = ("thread", "process")
+
+#: Traces shipped per process-pool task: big enough that pickling a chunk is
+#: cheap next to checking it, small enough that a 4-worker pool stays busy on
+#: batches of a few dozen traces.
+_PROCESS_CHUNK = 16
 
 
 @dataclass
@@ -56,6 +73,7 @@ class BatchReport:
     coverage: Optional[CoverageReport] = None
     duration_seconds: float = 0.0
     workers: int = 1
+    executor: str = "thread"
     cache_hits: int = 0
     cache_misses: int = 0
 
@@ -70,11 +88,18 @@ class BatchReport:
             return False
         return all(outcome.expected_ok is not None for outcome in self.failures)
 
+    @property
+    def traces_per_second(self) -> float:
+        """Checked traces per wall-clock second (the bench's headline number)."""
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.total / self.duration_seconds
+
     def summary(self) -> str:
         """Multi-line TLC-style batch summary."""
         lines = [
             f"{self.spec_name}: checked {self.total} trace(s) with {self.workers} "
-            f"worker(s) in {self.duration_seconds:.2f}s",
+            f"{self.executor} worker(s) in {self.duration_seconds:.2f}s",
             f"  PASS {self.passed}  FAIL {self.failed}  "
             f"unexpected verdicts {len(self.surprises)}",
         ]
@@ -102,11 +127,99 @@ def _as_generated(item: TraceLike, index: int) -> tuple:
     return GeneratedTrace(states=states, actions=[None] * len(states), seed=index), False
 
 
+def _check_one(
+    spec: Specification,
+    cache: Optional[SuccessorCache],
+    index: int,
+    generated: GeneratedTrace,
+    labelled: bool,
+    allow_stuttering: bool,
+    require_initial: bool,
+    collect_coverage: bool,
+) -> Tuple[TraceOutcome, Optional[CoverageReport]]:
+    """Check one trace; shared by the thread path and the process workers."""
+    result: TraceCheckResult = check_trace(
+        spec,
+        generated.states,
+        allow_stuttering=allow_stuttering,
+        require_initial=require_initial,
+        successor_cache=cache,
+    )
+    coverage = None
+    if collect_coverage:
+        # Only validated states count: everything up to the failing
+        # transition was witnessed as a behaviour prefix, the rest was
+        # never checked and may not even be reachable.  Folding unchecked
+        # states in would inflate the cross-run coverage fraction this
+        # pipeline exists to compute.
+        validated = result.validated_prefix(generated.states)
+        if validated:
+            coverage = coverage_of_trace(
+                spec,
+                validated,
+                matched_actions=result.matched_actions,
+            )
+    outcome = TraceOutcome(
+        index=index,
+        ok=result.ok,
+        expected_ok=generated.expect_ok if labelled else None,
+        fault=generated.fault,
+        detail="" if result.ok else explain_failure(result),
+    )
+    return outcome, coverage
+
+
+# ---------------------------------------------------------------------------
+# Process-executor worker side: one spec + SuccessorCache per worker process.
+# ---------------------------------------------------------------------------
+
+_RUNNER_SPEC: Optional[Specification] = None
+_RUNNER_CACHE: Optional[SuccessorCache] = None
+
+
+def _process_worker_init(
+    registry_name: str, params: Dict[str, Any], provider_modules: List[str]
+) -> None:
+    global _RUNNER_SPEC, _RUNNER_CACHE
+    from ..tla import registry
+
+    registry.adopt_providers(provider_modules)
+    _RUNNER_SPEC = registry.build_spec(registry_name, **params)
+    _RUNNER_CACHE = SuccessorCache(_RUNNER_SPEC)
+
+
+def _process_check_chunk(
+    chunk: List[Tuple[int, GeneratedTrace, bool]],
+    allow_stuttering: bool,
+    require_initial: bool,
+    collect_coverage: bool,
+) -> Tuple[List[Tuple[TraceOutcome, Optional[CoverageReport]]], Tuple[int, int]]:
+    """Check a chunk of traces in a worker; returns results + cache-stat deltas."""
+    spec, cache = _RUNNER_SPEC, _RUNNER_CACHE
+    assert spec is not None and cache is not None
+    hits_before, misses_before = cache.hits, cache.misses
+    results = [
+        _check_one(
+            spec,
+            cache,
+            index,
+            generated,
+            labelled,
+            allow_stuttering,
+            require_initial,
+            collect_coverage,
+        )
+        for index, generated, labelled in chunk
+    ]
+    return results, (cache.hits - hits_before, cache.misses - misses_before)
+
+
 def check_traces(
     spec: Specification,
     traces: Iterable[TraceLike],
     *,
     workers: int = 4,
+    executor: str = "thread",
     allow_stuttering: bool = True,
     require_initial: bool = True,
     reachable_count: Optional[int] = None,
@@ -114,52 +227,30 @@ def check_traces(
 ) -> BatchReport:
     """Check every trace against ``spec`` concurrently; return a :class:`BatchReport`.
 
-    ``reachable_count`` (e.g. ``CheckResult.distinct_states`` from a full
-    model-checking run) turns merged coverage into a fraction of the reachable
-    state space -- the number the paper says TLC cannot produce across runs.
+    ``executor`` selects the concurrency backend: ``"thread"`` (shared
+    successor cache, GIL-bound) or ``"process"`` (true multi-core; requires a
+    registry-built spec).  ``reachable_count`` (e.g.
+    ``CheckResult.distinct_states`` from a full model-checking run) turns
+    merged coverage into a fraction of the reachable state space -- the number
+    the paper says TLC cannot produce across runs.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if executor not in EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r}; expected one of {EXECUTORS}")
+    if executor == "process" and spec.registry_ref is None:
+        raise ValueError(
+            f"executor='process' requires a registered specification, but "
+            f"{spec.name!r} has no registry_ref; build it via "
+            "repro.tla.registry.build_spec so worker processes can rebuild it"
+        )
     started = time.perf_counter()
-    cache = SuccessorCache(spec)
-    report = BatchReport(spec_name=spec.name, workers=workers)
+    report = BatchReport(spec_name=spec.name, workers=workers, executor=executor)
     accumulator = (
         CoverageReport(spec_name=spec.name, reachable_count=reachable_count)
         if collect_coverage
         else None
     )
-
-    def check_one(indexed: tuple) -> tuple:
-        index, generated, labelled = indexed
-        result: TraceCheckResult = check_trace(
-            spec,
-            generated.states,
-            allow_stuttering=allow_stuttering,
-            require_initial=require_initial,
-            successor_cache=cache,
-        )
-        coverage = None
-        if collect_coverage:
-            # Only validated states count: everything up to the failing
-            # transition was witnessed as a behaviour prefix, the rest was
-            # never checked and may not even be reachable.  Folding unchecked
-            # states in would inflate the cross-run coverage fraction this
-            # pipeline exists to compute.
-            validated = result.validated_prefix(generated.states)
-            if validated:
-                coverage = coverage_of_trace(
-                    spec,
-                    validated,
-                    matched_actions=result.matched_actions,
-                )
-        outcome = TraceOutcome(
-            index=index,
-            ok=result.ok,
-            expected_ok=generated.expect_ok if labelled else None,
-            fault=generated.fault,
-            detail="" if result.ok else explain_failure(result),
-        )
-        return outcome, coverage
 
     def consume(outcome: TraceOutcome, coverage: Optional[CoverageReport]) -> None:
         report.total += 1
@@ -173,23 +264,85 @@ def check_traces(
         if accumulator is not None and coverage is not None:
             accumulator.absorb(coverage)
 
-    # Bounded submission window: Executor.map would eagerly turn the whole
-    # (possibly huge, generator-backed) workload into futures; this keeps at
-    # most a few batches of traces alive at once.
     items = ((i, *_as_generated(t, i)) for i, t in enumerate(traces))
-    window: deque = deque()
-    with ThreadPoolExecutor(max_workers=workers) as executor:
-        for item in items:
-            window.append(executor.submit(check_one, item))
-            if len(window) >= workers * 4:
+    if executor == "thread":
+        cache = SuccessorCache(spec)
+
+        def check_item(item: tuple) -> Tuple[TraceOutcome, Optional[CoverageReport]]:
+            index, generated, labelled = item
+            return _check_one(
+                spec,
+                cache,
+                index,
+                generated,
+                labelled,
+                allow_stuttering,
+                require_initial,
+                collect_coverage,
+            )
+
+        # Bounded submission window: Executor.map would eagerly turn the whole
+        # (possibly huge, generator-backed) workload into futures; this keeps
+        # at most a few batches of traces alive at once.
+        window: deque = deque()
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for item in items:
+                window.append(pool.submit(check_item, item))
+                if len(window) >= workers * 4:
+                    consume(*window.popleft().result())
+            while window:
                 consume(*window.popleft().result())
-        while window:
-            consume(*window.popleft().result())
+        report.cache_hits = cache.hits
+        report.cache_misses = cache.misses
+    else:
+        from ..tla.registry import PROVIDER_MODULES
+
+        registry_name, params = spec.registry_ref  # type: ignore[misc]
+
+        def consume_chunk(future) -> None:
+            results, (hits, misses) = future.result()
+            for outcome, coverage in results:
+                consume(outcome, coverage)
+            report.cache_hits += hits
+            report.cache_misses += misses
+
+        window = deque()
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_process_worker_init,
+            initargs=(registry_name, params, list(PROVIDER_MODULES)),
+        ) as pool:
+            chunk: List[Tuple[int, GeneratedTrace, bool]] = []
+            for item in items:
+                chunk.append(item)
+                if len(chunk) >= _PROCESS_CHUNK:
+                    window.append(
+                        pool.submit(
+                            _process_check_chunk,
+                            chunk,
+                            allow_stuttering,
+                            require_initial,
+                            collect_coverage,
+                        )
+                    )
+                    chunk = []
+                    if len(window) >= workers * 4:
+                        consume_chunk(window.popleft())
+            if chunk:
+                window.append(
+                    pool.submit(
+                        _process_check_chunk,
+                        chunk,
+                        allow_stuttering,
+                        require_initial,
+                        collect_coverage,
+                    )
+                )
+            while window:
+                consume_chunk(window.popleft())
 
     if accumulator is not None:
         accumulator.trace_count = report.total
         report.coverage = accumulator
-    report.cache_hits = cache.hits
-    report.cache_misses = cache.misses
     report.duration_seconds = time.perf_counter() - started
     return report

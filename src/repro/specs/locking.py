@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from ..tla import Action, Invariant, Record, Specification, State
+from ..tla import Action, Invariant, Record, Specification, State, registry
 
 __all__ = [
     "COMPATIBILITY",
@@ -267,3 +267,13 @@ def per_node_variables(spec: Specification) -> Tuple[str, ...]:
 def node_count(spec: Specification) -> int:
     """How many per-node slots each per-node variable carries."""
     return int(spec.constants["n_threads"])
+
+
+registry.register_spec(
+    "locking",
+    spec_factory,
+    description="MongoDB-style hierarchical locking (paper Section 4.2.5); "
+    "params: n_threads, allow_exclusive",
+    per_node_variables=per_node_variables,
+    node_count=node_count,
+)

@@ -40,6 +40,7 @@ from ..tla import (
     Specification,
     State,
     TemporalProperty,
+    registry,
 )
 
 __all__ = [
@@ -557,3 +558,13 @@ def per_node_variables(spec: Specification) -> Tuple[str, ...]:
 def node_count(spec: Specification) -> int:
     """How many replica-set members the configuration models."""
     return int(spec.constants["n_nodes"])
+
+
+registry.register_spec(
+    "raftmongo",
+    spec_factory,
+    description="RaftMongo replication protocol (paper Section 4); "
+    "params: n_nodes, max_term, max_log_len, variant=original|mbtc",
+    per_node_variables=per_node_variables,
+    node_count=node_count,
+)

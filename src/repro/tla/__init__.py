@@ -10,6 +10,7 @@ recorded implementation traces against a specification (MBTC), and the
 test-case generation (MBTCG).
 """
 
+from . import registry
 from .checker import CheckResult, ModelChecker, check_spec
 from .coverage import CoverageReport, coverage_of_trace, merge_reports
 from .dot import ParsedStateGraph, parse_dot, to_dot
@@ -29,6 +30,7 @@ from .errors import (
     TraceMismatch,
 )
 from .graph import Edge, PropertyCheckOutcome, StateGraph
+from .registry import SpecEntry, build_spec, register_spec, registered_names
 from .spec import Action, Invariant, Specification, TemporalProperty, action, invariant
 from .state import State, VariableSchema
 from .trace import (
@@ -70,6 +72,7 @@ __all__ = [
     "PropertyViolation",
     "Record",
     "ReproError",
+    "SpecEntry",
     "Specification",
     "SpecError",
     "State",
@@ -84,6 +87,7 @@ __all__ = [
     "VariableSchema",
     "action",
     "append",
+    "build_spec",
     "check_partial_trace",
     "check_spec",
     "check_trace",
@@ -95,6 +99,9 @@ __all__ = [
     "last",
     "merge_reports",
     "parse_dot",
+    "register_spec",
+    "registered_names",
+    "registry",
     "sub_seq",
     "thaw",
     "to_dot",

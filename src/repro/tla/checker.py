@@ -12,7 +12,7 @@ The checker does what the paper relies on TLC for:
   for the two RaftMongo variants), and
 * optional retention of the full state graph, which MBTCG consumes.
 
-Two exploration engines are provided:
+Three exploration engines are provided:
 
 * ``"fingerprint"`` -- the default when no state graph is requested.  The
   visited set holds only stable 64-bit state fingerprints (as TLC's own
@@ -20,6 +20,17 @@ Two exploration engines are provided:
   counterexample behaviours by forward replay.  Full ``State`` objects live
   only on the current and next BFS frontier, so peak memory is bounded by the
   widest level rather than the whole reachable space.
+* ``"parallel"`` -- the multi-core engine: the same level-synchronous BFS,
+  but each depth's frontier is sharded across a ``multiprocessing`` pool.
+  Workers expand states, fingerprint successors and evaluate invariants and
+  the state constraint with their own per-process
+  :class:`~repro.tla.values.FingerprintCache`; the coordinator merges the
+  per-shard results -- in frontier order, so statistics and counterexamples
+  are bit-identical to the ``fingerprint`` engine.  Because a spec is a
+  bundle of closures, workers rebuild it from its
+  :attr:`~repro.tla.spec.Specification.registry_ref` (see
+  :mod:`repro.tla.registry`), the way every TLC worker re-parses the ``.tla``
+  module.
 * ``"states"`` -- the original engine: every distinct ``State`` is retained.
   Required (and selected automatically) when the state graph is collected for
   temporal properties or MBTCG.
@@ -27,10 +38,13 @@ Two exploration engines are provided:
 
 from __future__ import annotations
 
+import os
 import time
 from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from itertools import islice
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .errors import (
     CheckerError,
@@ -44,9 +58,120 @@ from .spec import Specification
 from .state import State
 from .values import FingerprintCache
 
-__all__ = ["CheckResult", "ModelChecker", "check_spec"]
+__all__ = ["CheckResult", "ModelChecker", "check_spec", "default_worker_count"]
 
-ENGINES = ("auto", "fingerprint", "states")
+ENGINES = ("auto", "fingerprint", "states", "parallel")
+
+#: One entry of a worker's expansion result: ``(action name, successor value
+#: tuple, successor fingerprint, violated invariant name or None, constraint
+#: verdict)``.
+_SuccessorInfo = Tuple[str, Tuple[Any, ...], int, Optional[str], bool]
+
+
+def default_worker_count() -> int:
+    """Worker count used when ``workers`` is not given: one per CPU core."""
+    return os.cpu_count() or 1
+
+
+#: Below ``workers * _INLINE_FRONTIER`` states, a BFS level is expanded in the
+#: coordinator: pickling a handful of states to the pool costs more than
+#: expanding them.  The shallow first levels of every run stay inline, so the
+#: pool is only ever started for state spaces wide enough to amortize it.
+_INLINE_FRONTIER = 8
+
+#: Cap on each expander's invariant/constraint verdict memo (see
+#: :func:`_expand_state`); bounds per-process memory on paper-scale runs.
+_VERDICT_MEMO_MAX = 500_000
+
+
+# ---------------------------------------------------------------------------
+# Parallel-engine worker side.  Each pool process builds its own copy of the
+# spec (by registry name) once, in the initializer, and keeps a private
+# FingerprintCache for the whole run.
+# ---------------------------------------------------------------------------
+
+_WORKER_SPEC: Optional[Specification] = None
+_WORKER_CACHE: Optional[FingerprintCache] = None
+_WORKER_VERDICTS: Dict[int, Tuple[Optional[str], bool]] = {}
+
+
+def _parallel_worker_init(
+    registry_name: str, params: Dict[str, Any], provider_modules: List[str]
+) -> None:
+    global _WORKER_SPEC, _WORKER_CACHE, _WORKER_VERDICTS
+    from . import registry
+
+    # Under the 'spawn' start method a worker starts with a fresh registry;
+    # adopting the coordinator's provider list lets it rebuild specs whose
+    # factories live outside the default providers.  (Under 'fork' the
+    # registrations are inherited and this is a no-op.)
+    registry.adopt_providers(provider_modules)
+    _WORKER_SPEC = registry.build_spec(registry_name, **params)
+    _WORKER_CACHE = FingerprintCache()
+    _WORKER_VERDICTS = {}
+
+
+def _expand_state(
+    spec: Specification,
+    cache: FingerprintCache,
+    state: State,
+    verdicts: Dict[int, Tuple[Optional[str], bool]],
+) -> List[_SuccessorInfo]:
+    """Expand one state into successor-info tuples.
+
+    This is the single source of truth for what an expansion produces: both
+    the pool workers and the coordinator's inline path (narrow BFS levels) go
+    through it, so the engine's bit-identical-statistics guarantee cannot be
+    broken by the two paths drifting apart.
+
+    ``verdicts`` memoizes ``(violated invariant name, constraint verdict)``
+    per successor fingerprint: the serial engine evaluates invariants once
+    per *distinct* state, but an expander cannot know what its peers visited,
+    so without the memo it would re-evaluate once per *generated* successor
+    -- a 3-6x multiplier on the benchmarked specs.  Verdicts are
+    deterministic per state, so memoization cannot change results; the memo
+    is capped (oldest half discarded, like ``FingerprintCache``) so it never
+    grows into a second per-process copy of a paper-scale visited set.
+    """
+    entries: List[_SuccessorInfo] = []
+    for action_name, nxt in spec.successors(state):
+        nfp = nxt.fingerprint(cache)
+        cached = verdicts.get(nfp)
+        if cached is None:
+            violated = spec.violated_invariant(nxt)
+            cached = (
+                None if violated is None else violated.name,
+                spec.within_constraint(nxt),
+            )
+            if len(verdicts) >= _VERDICT_MEMO_MAX:
+                for key in list(islice(verdicts, len(verdicts) // 2)):
+                    del verdicts[key]
+            verdicts[nfp] = cached
+        entries.append((action_name, nxt.values, nfp, cached[0], cached[1]))
+    return entries
+
+
+def _parallel_expand_shard(
+    shard: List[Tuple[Tuple[Any, ...], int]],
+) -> List[Tuple[int, List[_SuccessorInfo]]]:
+    """Expand one frontier shard: successors + fingerprints + invariant verdicts.
+
+    Input and output are value tuples rather than ``State`` objects to keep
+    the pickled payloads minimal; the coordinator rebuilds ``State`` only for
+    successors that actually enter the next frontier.
+    """
+    spec, cache = _WORKER_SPEC, _WORKER_CACHE
+    assert spec is not None and cache is not None
+    schema = spec.schema
+    return [
+        (
+            fp,
+            _expand_state(
+                spec, cache, State.from_values(schema, values), _WORKER_VERDICTS
+            ),
+        )
+        for values, fp in shard
+    ]
 
 
 @dataclass
@@ -66,6 +191,7 @@ class CheckResult:
     truncated: bool = False
     engine: str = "states"
     peak_frontier: int = 0
+    workers: int = 1
 
     @property
     def ok(self) -> bool:
@@ -98,9 +224,12 @@ class ModelChecker:
         max_depth: Optional[int] = None,
         stop_on_violation: bool = True,
         engine: str = "auto",
+        workers: Optional[int] = None,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
         self.spec = spec
         self.check_properties = check_properties
         # Temporal properties are checked on the state graph, so requesting
@@ -111,13 +240,21 @@ class ModelChecker:
         self.max_states = max_states
         self.max_depth = max_depth
         self.stop_on_violation = stop_on_violation
-        if self.collect_graph and engine == "fingerprint":
+        if self.collect_graph and engine in ("fingerprint", "parallel"):
             raise ValueError(
-                "the fingerprint engine cannot collect a state graph; "
+                f"the {engine} engine cannot collect a state graph; "
                 "use engine='states' (or 'auto') when collect_graph or "
                 "temporal-property checking is requested"
             )
+        if engine == "parallel" and spec.registry_ref is None:
+            raise CheckerError(
+                f"engine='parallel' requires a registered specification, but "
+                f"{spec.name!r} has no registry_ref; build it via "
+                "repro.tla.registry.build_spec (or register its factory with "
+                "register_spec) so worker processes can rebuild it by name"
+            )
         self.engine = engine
+        self.workers = workers
 
     # ------------------------------------------------------------------------------
     def run(self) -> CheckResult:
@@ -127,6 +264,9 @@ class ModelChecker:
         if self.collect_graph or self.engine == "states":
             result.engine = "states"
             self._run_states(result)
+        elif self.engine == "parallel":
+            result.engine = "parallel"
+            self._run_parallel(result)
         else:
             result.engine = "fingerprint"
             self._run_fingerprint(result)
@@ -144,6 +284,56 @@ class ModelChecker:
                 result.property_outcomes.append(result.graph.check_property(prop))
         return result
 
+    # Shared fingerprint-BFS helpers ---------------------------------------------
+    def _fp_violation(
+        self,
+        fp: int,
+        inv_name: str,
+        parents: Dict[int, Tuple[Optional[int], Optional[str]]],
+    ) -> InvariantViolation:
+        return InvariantViolation(
+            f"invariant {inv_name!r} violated by specification {self.spec.name!r}",
+            property_name=inv_name,
+            trace=self._replay(fp, parents),
+        )
+
+    def _seed_frontier(
+        self,
+        result: CheckResult,
+        cache: FingerprintCache,
+        visited: Set[int],
+        parents: Dict[int, Tuple[Optional[int], Optional[str]]],
+    ) -> Tuple[List[Tuple[State, int]], bool]:
+        """Enumerate initial states into the depth-0 frontier.
+
+        Shared by the fingerprint and parallel engines (both are serial here:
+        initial sets are tiny, and forking for them would be pure cost), so
+        the two cannot drift apart in how exploration starts -- part of the
+        bit-identical-statistics contract between them.
+        """
+        spec = self.spec
+        frontier: List[Tuple[State, int]] = []
+        stop = False
+        for state in spec.initial_states():
+            result.generated_states += 1
+            fp = state.fingerprint(cache)
+            if fp in visited:
+                continue
+            visited.add(fp)
+            parents[fp] = (None, None)
+            violated = spec.violated_invariant(state)
+            if violated is not None:
+                result.invariant_violation = self._fp_violation(
+                    fp, violated.name, parents
+                )
+                if self.stop_on_violation:
+                    stop = True
+                    break
+            if spec.within_constraint(state):
+                frontier.append((state, fp))
+        result.peak_frontier = len(frontier)
+        return frontier, stop
+
     # Fingerprint engine ---------------------------------------------------------
     def _run_fingerprint(self, result: CheckResult) -> None:
         """Level-batched BFS over interned 64-bit state fingerprints.
@@ -158,33 +348,7 @@ class ModelChecker:
         visited: Set[int] = set()
         parents: Dict[int, Tuple[Optional[int], Optional[str]]] = {}
         action_counts: Dict[str, int] = {act.name: 0 for act in spec.actions}
-        frontier: List[Tuple[State, int]] = []
-        stop = False
-
-        def record_violation(fp: int, inv_name: str) -> InvariantViolation:
-            return InvariantViolation(
-                f"invariant {inv_name!r} violated by specification {spec.name!r}",
-                property_name=inv_name,
-                trace=self._replay(fp, parents),
-            )
-
-        # Initial states --------------------------------------------------------
-        for state in spec.initial_states():
-            result.generated_states += 1
-            fp = state.fingerprint(cache)
-            if fp in visited:
-                continue
-            visited.add(fp)
-            parents[fp] = (None, None)
-            violated = spec.violated_invariant(state)
-            if violated is not None:
-                result.invariant_violation = record_violation(fp, violated.name)
-                if self.stop_on_violation:
-                    stop = True
-                    break
-            if spec.within_constraint(state):
-                frontier.append((state, fp))
-        result.peak_frontier = len(frontier)
+        frontier, stop = self._seed_frontier(result, cache, visited, parents)
 
         # Breadth-first exploration, one depth level per batch ------------------
         depth = 0
@@ -218,7 +382,9 @@ class ModelChecker:
                     result.max_depth = max(result.max_depth, depth + 1)
                     violated = spec.violated_invariant(nxt)
                     if violated is not None:
-                        result.invariant_violation = record_violation(nfp, violated.name)
+                        result.invariant_violation = self._fp_violation(
+                            nfp, violated.name, parents
+                        )
                         if self.stop_on_violation:
                             stop = True
                             break
@@ -232,6 +398,124 @@ class ModelChecker:
 
         result.distinct_states = len(visited)
         result.action_counts = action_counts
+
+    # Parallel engine ------------------------------------------------------------
+    def _run_parallel(self, result: CheckResult) -> None:
+        """Level-synchronous BFS with the frontier sharded across processes.
+
+        Each depth level is split into contiguous shards, one per worker;
+        workers return ``(parent fingerprint, successor info)`` lists and the
+        coordinator merges them *in frontier order*, so every statistic, the
+        visited set, and any counterexample it finds coincide exactly with the
+        serial ``fingerprint`` engine's.  Invariants and the state constraint
+        are evaluated inside the workers, which is where the parallel speedup
+        on invariant-heavy specs (RaftMongo's four invariants) comes from.
+        """
+        spec = self.spec
+        assert spec.registry_ref is not None  # enforced in __init__
+        registry_name, params = spec.registry_ref
+        workers = self.workers or default_worker_count()
+        result.workers = workers
+        cache = FingerprintCache()
+        visited: Set[int] = set()
+        parents: Dict[int, Tuple[Optional[int], Optional[str]]] = {}
+        action_counts: Dict[str, int] = {act.name: 0 for act in spec.actions}
+        frontier, stop = self._seed_frontier(result, cache, visited, parents)
+        inline_verdicts: Dict[int, Tuple[Optional[str], bool]] = {}
+
+        depth = 0
+        pool: Optional[ProcessPoolExecutor] = None
+        try:
+            while frontier and not stop:
+                if self.max_depth is not None and depth >= self.max_depth:
+                    result.truncated = True
+                    break
+                if pool is None and len(frontier) >= workers * _INLINE_FRONTIER:
+                    from .registry import PROVIDER_MODULES
+
+                    pool = ProcessPoolExecutor(
+                        max_workers=workers,
+                        initializer=_parallel_worker_init,
+                        initargs=(registry_name, params, list(PROVIDER_MODULES)),
+                    )
+                next_frontier: List[Tuple[State, int]] = []
+                for fp, entries in self._expand_level(
+                    pool, workers, frontier, cache, inline_verdicts
+                ):
+                    if self.max_states is not None and len(visited) >= self.max_states:
+                        result.truncated = True
+                        stop = True
+                        break
+                    if not entries and self.check_deadlock:
+                        result.deadlock = DeadlockError(
+                            f"deadlock reached in specification {spec.name!r}",
+                            trace=self._replay(fp, parents),
+                        )
+                        if self.stop_on_violation:
+                            stop = True
+                            break
+                    for action_name, nvalues, nfp, violated_name, within in entries:
+                        result.generated_states += 1
+                        action_counts[action_name] += 1
+                        if nfp in visited:
+                            continue
+                        visited.add(nfp)
+                        parents[nfp] = (fp, action_name)
+                        result.max_depth = max(result.max_depth, depth + 1)
+                        if violated_name is not None:
+                            result.invariant_violation = self._fp_violation(
+                                nfp, violated_name, parents
+                            )
+                            if self.stop_on_violation:
+                                stop = True
+                                break
+                        if within:
+                            next_frontier.append(
+                                (State.from_values(spec.schema, nvalues), nfp)
+                            )
+                    if stop:
+                        break
+                frontier = next_frontier
+                result.peak_frontier = max(result.peak_frontier, len(frontier))
+                depth += 1
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
+
+        result.distinct_states = len(visited)
+        result.action_counts = action_counts
+
+    def _expand_level(
+        self,
+        pool: Optional[ProcessPoolExecutor],
+        workers: int,
+        frontier: List[Tuple[State, int]],
+        cache: FingerprintCache,
+        verdicts: Dict[int, Tuple[Optional[str], bool]],
+    ) -> Iterable[Tuple[int, List[_SuccessorInfo]]]:
+        """Expand one BFS level, in frontier order.
+
+        Narrow levels (and everything before the pool is first needed) are
+        expanded inline -- shipping a handful of states through pickle costs
+        more than computing their successors -- with results in the same shape
+        the workers produce, so the merge loop cannot tell the difference.
+        """
+        spec = self.spec
+        if pool is None or len(frontier) < workers * _INLINE_FRONTIER:
+            for state, fp in frontier:
+                yield fp, _expand_state(spec, cache, state, verdicts)
+            return
+
+        shard_size = -(-len(frontier) // workers)  # ceil division
+        futures = []
+        for start in range(0, len(frontier), shard_size):
+            shard = [
+                (state.values, fp)
+                for state, fp in frontier[start : start + shard_size]
+            ]
+            futures.append(pool.submit(_parallel_expand_shard, shard))
+        for future in futures:
+            yield from future.result()
 
     def _replay(
         self,
@@ -410,6 +694,7 @@ def check_spec(
     max_depth: Optional[int] = None,
     raise_on_violation: bool = False,
     engine: str = "auto",
+    workers: Optional[int] = None,
 ) -> CheckResult:
     """Convenience wrapper: build a checker, run it, optionally raise.
 
@@ -425,6 +710,7 @@ def check_spec(
         max_states=max_states,
         max_depth=max_depth,
         engine=engine,
+        workers=workers,
     )
     result = checker.run()
     if raise_on_violation:

@@ -16,8 +16,25 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers onl
     from .state import State
 
 
+def _rebuild_error(cls: type, args: tuple, attrs: dict) -> "ReproError":
+    """Unpickle helper: rebuild without re-running ``__init__``.
+
+    Several subclasses take required keyword-only arguments, which the default
+    exception reduction (``cls(*self.args)``) cannot supply; worker processes
+    of the parallel checker and batch runner ship exceptions back through
+    pickle, so reconstruction must not depend on ``__init__`` signatures.
+    """
+    exc = cls.__new__(cls)
+    Exception.__init__(exc, *args)
+    exc.__dict__.update(attrs)
+    return exc
+
+
 class ReproError(Exception):
     """Base class for every error raised by the reproduction library."""
+
+    def __reduce__(self):
+        return (_rebuild_error, (type(self), self.args, dict(self.__dict__)))
 
 
 class SpecError(ReproError):

@@ -171,6 +171,11 @@ class Specification:
         names = [act.name for act in self.actions]
         if len(set(names)) != len(names):
             raise SpecError(f"duplicate action names in specification {name!r}: {names}")
+        self._actions_by_name: Dict[str, Action] = {act.name: act for act in self.actions}
+        #: Set by :func:`repro.tla.registry.build_spec`: the ``(name, params)``
+        #: pair that rebuilds this spec in another process.  ``None`` for specs
+        #: constructed directly.
+        self.registry_ref: Optional[Tuple[str, Dict[str, Any]]] = None
 
     def __repr__(self) -> str:
         return (
@@ -210,10 +215,12 @@ class Specification:
         return [act.name for act in self.actions if act.successors(state)]
 
     def action_named(self, name: str) -> Action:
-        for act in self.actions:
-            if act.name == name:
-                return act
-        raise SpecError(f"specification {self.name!r} has no action named {name!r}")
+        try:
+            return self._actions_by_name[name]
+        except KeyError:
+            raise SpecError(
+                f"specification {self.name!r} has no action named {name!r}"
+            ) from None
 
     # Constraint / invariants ---------------------------------------------------
     def within_constraint(self, state: State) -> bool:

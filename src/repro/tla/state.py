@@ -49,6 +49,9 @@ class VariableSchema:
     def __repr__(self) -> str:
         return f"VariableSchema({list(self.names)!r})"
 
+    def __reduce__(self):
+        return (VariableSchema, (self.names,))
+
     def __eq__(self, other: object) -> bool:
         if isinstance(other, VariableSchema):
             return self.names == other.names
@@ -104,6 +107,12 @@ class State(Mapping[str, Any]):
             f"{name}={value!r}" for name, value in zip(self.schema.names, self.values)
         )
         return f"State({inner})"
+
+    def __reduce__(self):
+        # The parallel checker ships frontier states to worker processes;
+        # rebuilding through from_values skips the per-variable freeze() and
+        # validation of __init__ (the values are frozen by construction).
+        return (State.from_values, (self.schema, self.values))
 
     # Construction helpers ----------------------------------------------------
     def with_updates(self, **updates: Any) -> "State":

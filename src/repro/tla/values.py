@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import struct
 import zlib
+from itertools import islice
 from typing import Any, Iterable, Iterator, Mapping, Tuple
 
 __all__ = [
@@ -126,20 +127,62 @@ class Record(Mapping[str, Any]):
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("Record instances are immutable")
 
+    @classmethod
+    def _from_items(cls, items: Tuple[Tuple[str, Any], ...]) -> "Record":
+        """Rebuild a record from an already-frozen, already-sorted items tuple.
+
+        This is the successor-generation hot path: ``except_`` and
+        ``with_fields`` replace one or two fields of a record whose remaining
+        values are frozen by construction, so re-freezing and re-sorting the
+        whole mapping (what ``__init__`` does) would walk every sequence value
+        on every BFS step.
+        """
+        record = object.__new__(cls)
+        object.__setattr__(record, "_items", items)
+        object.__setattr__(record, "_hash", hash(items))
+        object.__setattr__(record, "_lookup", dict(items))
+        object.__setattr__(record, "_fp", None)
+        return record
+
+    def __reduce__(self):
+        return (Record._from_items, (self._items,))
+
+    def _replace_fields(
+        self, updates: "dict[str, Any]"
+    ) -> "tuple[list[Tuple[str, Any]], dict[str, Any]]":
+        """Freeze ``updates`` and replace existing fields positionally.
+
+        Returns the new items list (key order untouched, unchanged values not
+        re-frozen) and whatever update keys named no existing field -- the
+        one point where ``except_`` and ``with_fields`` differ.
+        """
+        new_items = list(self._items)
+        pending = {key: freeze(value) for key, value in updates.items()}
+        for position, (name, _old) in enumerate(new_items):
+            if name in pending:
+                new_items[position] = (name, pending.pop(name))
+        return new_items, pending
+
     def except_(self, **updates: Any) -> "Record":
         """Return a copy with the given fields replaced (TLA+ ``EXCEPT``)."""
-        data = dict(self._items)
-        for key, value in updates.items():
-            if key not in data:
-                raise KeyError(f"Record has no field {key!r}")
-            data[key] = value
-        return Record(data)
+        if not updates:
+            return self
+        new_items, pending = self._replace_fields(updates)
+        if pending:
+            raise KeyError(f"Record has no field {next(iter(pending))!r}")
+        return Record._from_items(tuple(new_items))
 
     def with_fields(self, **updates: Any) -> "Record":
         """Return a copy with fields replaced or added."""
-        data = dict(self._items)
-        data.update(updates)
-        return Record(data)
+        if not updates:
+            return self
+        new_items, pending = self._replace_fields(updates)
+        if pending:
+            # New field names: only now does the key order need rebuilding.
+            merged = dict(new_items)
+            merged.update(pending)
+            return Record._from_items(tuple(sorted(merged.items())))
+        return Record._from_items(tuple(new_items))
 
     def to_dict(self) -> dict[str, Any]:
         """Return a plain mutable ``dict`` copy (values are thawed)."""
@@ -162,9 +205,22 @@ def freeze(value: Any) -> Any:
             return Record(value)
         return tuple(sorted((freeze(k), freeze(v)) for k, v in value.items()))
     if isinstance(value, (set, frozenset)):
-        return frozenset(freeze(item) for item in value)
+        frozen_items = [freeze(item) for item in value]
+        if type(value) is frozenset and all(
+            new is old for new, old in zip(frozen_items, value)
+        ):
+            return value
+        return frozenset(frozen_items)
     if isinstance(value, (list, tuple)):
-        return tuple(freeze(item) for item in value)
+        frozen_items = [freeze(item) for item in value]
+        if type(value) is tuple and all(
+            new is old for new, old in zip(frozen_items, value)
+        ):
+            # Already-frozen fast path: returning the original tuple keeps
+            # object identity, so fingerprint memo entries and Record._fp
+            # caches attached to the shared value stay shared across states.
+            return value
+        return tuple(frozen_items)
     if hasattr(value, "__hash__") and value.__hash__ is not None:
         return value
     raise TypeError(f"cannot freeze value of type {type(value).__name__}")
@@ -225,43 +281,48 @@ def _digest(data: bytes) -> int:
     return (zlib.adler32(data) << 32) | zlib.crc32(data)
 
 
-def _fp_of(value: Any, memo: "dict[Any, int] | None") -> int:
+def _fp_of(value: Any, cache: "FingerprintCache | None") -> int:
     """Structural fingerprint: combine child fingerprints, no string building.
 
     Records cache their fingerprint on the instance (they are immutable and
     shared across the BFS frontier); tuples and frozensets optionally go
-    through ``memo``, the equality-keyed sub-value cache a
-    :class:`FingerprintCache` carries for the duration of one checker run.
+    through the equality-keyed sub-value memo a :class:`FingerprintCache`
+    carries for the duration of one checker run.
     """
     if isinstance(value, Record):
         cached = value._fp
         if cached is None:
             data = b"R" + b"".join(
-                key.encode("utf-8") + b"\0" + _FP_PACK(_fp_of(item, memo))
+                key.encode("utf-8") + b"\0" + _FP_PACK(_fp_of(item, cache))
                 for key, item in value._items
             )
             cached = _digest(data)
             object.__setattr__(value, "_fp", cached)
         return cached
     if isinstance(value, tuple):
-        if memo is not None:
-            cached = memo.get(value)
+        if cache is not None:
+            cached = cache._memo.get(value)
             if cached is not None:
+                cache.hits += 1
                 return cached
-        result = _digest(b"T" + b"".join(_FP_PACK(_fp_of(item, memo)) for item in value))
+            cache.misses += 1
+        result = _digest(b"T" + b"".join(_FP_PACK(_fp_of(item, cache)) for item in value))
     elif isinstance(value, frozenset):
-        if memo is not None:
-            cached = memo.get(value)
+        if cache is not None:
+            cached = cache._memo.get(value)
             if cached is not None:
+                cache.hits += 1
                 return cached
-        result = _digest(b"S" + b"".join(sorted(_FP_PACK(_fp_of(item, memo)) for item in value)))
+            cache.misses += 1
+        result = _digest(b"S" + b"".join(sorted(_FP_PACK(_fp_of(item, cache)) for item in value)))
     else:
         # Primitives: repr disambiguates types (True vs 1 vs "1" vs 1.0 all
         # render differently) and is stable across processes.
         return _digest(b"P" + repr(value).encode("utf-8"))
-    if memo is not None:
-        if len(memo) >= FingerprintCache.MAX_ENTRIES:
-            memo.clear()
+    if cache is not None:
+        memo = cache._memo
+        if len(memo) >= cache.max_entries:
+            cache._evict_oldest_half()
         memo[value] = result
     return result
 
@@ -295,21 +356,48 @@ class FingerprintCache:
     :meth:`state_values_fingerprint` is deliberately *not* memoized: state
     tuples are unique, and caching them would retain the entire state space --
     exactly what the fingerprint engine exists to avoid.
+
+    When the memo fills up, the oldest half (dict insertion order) is
+    discarded rather than the whole memo: sub-values inserted recently are the
+    ones the current BFS frontier still shares, so wholesale clearing dropped
+    every hot entry mid-run.  ``hits``/``misses``/``evictions`` feed the bench
+    report.
     """
 
     MAX_ENTRIES = 1_000_000
 
-    __slots__ = ("_memo",)
+    __slots__ = ("_memo", "max_entries", "hits", "misses", "evictions")
 
-    def __init__(self) -> None:
+    def __init__(self, *, max_entries: int = MAX_ENTRIES) -> None:
+        if max_entries < 2:
+            raise ValueError("max_entries must be at least 2")
         self._memo: dict[Any, int] = {}
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._memo)
 
+    def _evict_oldest_half(self) -> None:
+        memo = self._memo
+        for key in list(islice(memo, len(memo) // 2)):
+            del memo[key]
+        self.evictions += 1
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters, for the bench report."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._memo),
+        }
+
     def value_fingerprint(self, value: Any) -> int:
         """Fingerprint one (frozen) value, memoizing it and its sub-values."""
-        return _fp_of(value, self._memo)
+        return _fp_of(value, self)
 
     def state_values_fingerprint(self, values: Tuple[Any, ...]) -> int:
         """Fingerprint a state's values tuple without memoizing the tuple itself.
@@ -317,7 +405,7 @@ class FingerprintCache:
         Returns exactly what ``fingerprint(values, frozen=True)`` returns.
         """
         return _digest(
-            b"T" + b"".join(_FP_PACK(_fp_of(item, self._memo)) for item in values)
+            b"T" + b"".join(_FP_PACK(_fp_of(item, self)) for item in values)
         )
 
 

@@ -1,0 +1,88 @@
+"""The `repro bench` harness: JSON schema, engine parity, CLI plumbing."""
+
+import json
+import os
+
+import pytest
+
+from repro.pipeline.bench import BenchConfig, run_bench, summarize, write_results
+from repro.pipeline.cli import main
+
+
+@pytest.fixture(scope="module")
+def smoke_results():
+    config = BenchConfig(
+        specs=(("locking", {}), ("raftmongo", {"n_nodes": 2, "variant": "mbtc"})),
+        worker_counts=(1, 2),
+        n_traces=30,
+        smoke=True,
+    )
+    return run_bench(config)
+
+
+def test_results_document_shape(smoke_results):
+    assert smoke_results["schema_version"] == 1
+    env = smoke_results["environment"]
+    assert env["cpu_count"] >= 1 and env["python"]
+    # 2 specs x (states + fingerprint + 2 parallel worker counts)
+    assert len(smoke_results["model_checking"]) == 8
+    # 2 specs x (thread@1, thread@max, process@1, process@2)
+    assert len(smoke_results["trace_checking"]) == 8
+    for row in smoke_results["model_checking"]:
+        assert row["ok"]
+        assert row["wall_seconds"] > 0
+        assert row["states_per_second"] > 0
+    for row in smoke_results["trace_checking"]:
+        assert row["unexpected_verdicts"] == 0
+        assert row["traces"] == 30
+
+
+def test_bench_is_a_cross_engine_parity_witness(smoke_results):
+    """All engines must report identical state counts per configuration."""
+    by_label = {}
+    for row in smoke_results["model_checking"]:
+        key = row["label"]
+        stats = (row["distinct_states"], row["generated_states"], row["max_depth"])
+        by_label.setdefault(key, set()).add(stats)
+    for label, variants in by_label.items():
+        assert len(variants) == 1, f"engines disagree on {label}: {variants}"
+
+
+def test_speedups_are_relative_to_serial_fingerprint(smoke_results):
+    for row in smoke_results["model_checking"]:
+        if row["engine"] == "fingerprint":
+            assert row["speedup_vs_serial"] == 1.0
+        else:
+            assert row["speedup_vs_serial"] is not None
+    single_core = smoke_results["environment"]["cpu_count"] == 1
+    if single_core:
+        # Acceptance criterion: a machine that cannot show the >1.5x speedup
+        # must say so in the results document.
+        assert any("cpu_count=1" in note for note in smoke_results["notes"])
+
+
+def test_write_results_and_summarize(tmp_path, smoke_results):
+    out = tmp_path / "BENCH_results.json"
+    write_results(smoke_results, str(out))
+    loaded = json.loads(out.read_text())
+    assert loaded["model_checking"] == smoke_results["model_checking"]
+    digest = summarize(smoke_results)
+    assert "model checking" in digest and "batch trace checking" in digest
+
+
+def test_cli_bench_smoke_writes_json(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    code = main(
+        ["bench", "--smoke", "--out", str(out), "--workers-list", "1,2", "--traces", "20"]
+    )
+    assert code == 0
+    assert os.path.exists(out)
+    payload = json.loads(out.read_text())
+    assert payload["environment"]["smoke"] is True
+    assert payload["trace_checking"][0]["traces"] == 20
+    assert f"results written to {out}" in capsys.readouterr().out
+
+
+def test_cli_bench_rejects_bad_worker_list(capsys):
+    assert main(["bench", "--workers-list", "1,x"]) == 2
+    assert main(["bench", "--workers-list", "0"]) == 2

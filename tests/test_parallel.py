@@ -1,0 +1,120 @@
+"""Cross-engine parity suite for the parallel BFS engine.
+
+The contract (ISSUE 3 acceptance): ``engine="parallel"`` must produce
+statistics bit-identical to ``engine="fingerprint"`` (which the seed pinned
+against ``engine="states"``) on every registered spec, and counterexample
+replay must survive the frontier being sharded across processes.
+"""
+
+import pytest
+
+import widecounter_spec  # noqa: F401 - registers _test_widecounter + its provider
+from repro.tla import ModelChecker, check_spec
+from repro.tla.errors import CheckerError
+from repro.tla.registry import build_spec
+
+#: Registered (name, params) configurations the parity suite sweeps.
+REGISTERED_CONFIGS = [
+    ("locking", {}),
+    ("raftmongo", {"variant": "original"}),
+    ("raftmongo", {"n_nodes": 2, "variant": "mbtc"}),
+]
+
+
+def _stats(result):
+    return (
+        result.distinct_states,
+        result.generated_states,
+        result.max_depth,
+        result.action_counts,
+        result.peak_frontier,
+    )
+
+
+@pytest.mark.parametrize("name,params", REGISTERED_CONFIGS)
+def test_parallel_stats_match_fingerprint_and_states(name, params):
+    spec = build_spec(name, **params)
+    serial = check_spec(spec, check_properties=False, engine="fingerprint")
+    retained = check_spec(spec, check_properties=False, engine="states")
+    parallel = check_spec(spec, check_properties=False, engine="parallel", workers=2)
+    assert parallel.engine == "parallel"
+    assert parallel.workers == 2
+    assert _stats(parallel) == _stats(serial)
+    # peak_frontier bookkeeping differs between the states engine (queue) and
+    # the frontier engines, so compare only the TLC-visible statistics.
+    assert _stats(parallel)[:4] == (
+        retained.distinct_states,
+        retained.generated_states,
+        retained.max_depth,
+        retained.action_counts,
+    )
+    assert parallel.ok and serial.ok and retained.ok
+
+
+def test_parallel_counterexample_trace_is_identical():
+    spec = build_spec("_test_widecounter", invariant_bound=8)
+    serial = check_spec(spec, check_properties=False, engine="fingerprint")
+    parallel = check_spec(spec, check_properties=False, engine="parallel", workers=3)
+    assert serial.invariant_violation is not None
+    assert parallel.invariant_violation is not None
+    assert parallel.invariant_violation.property_name == "Bounded"
+    assert [tuple(s.values) for s in parallel.invariant_violation.trace] == [
+        tuple(s.values) for s in serial.invariant_violation.trace
+    ]
+
+
+def test_parallel_deadlock_trace_is_identical():
+    spec = build_spec("_test_widecounter", limit=1)
+    serial = check_spec(
+        spec, check_deadlock=True, check_properties=False, engine="fingerprint"
+    )
+    parallel = check_spec(
+        spec, check_deadlock=True, check_properties=False, engine="parallel", workers=2
+    )
+    assert serial.deadlock is not None and parallel.deadlock is not None
+    assert [tuple(s.values) for s in parallel.deadlock.trace] == [
+        tuple(s.values) for s in serial.deadlock.trace
+    ]
+
+
+def test_parallel_max_depth_truncates_like_fingerprint():
+    spec = build_spec("_test_widecounter")
+    serial = check_spec(
+        spec, check_properties=False, engine="fingerprint", max_depth=3
+    )
+    parallel = check_spec(
+        spec, check_properties=False, engine="parallel", workers=2, max_depth=3
+    )
+    assert serial.truncated and parallel.truncated
+    assert _stats(parallel) == _stats(serial)
+
+
+def test_parallel_requires_registry_ref(locking_spec):
+    # Fixture specs are built directly, without a registry_ref.
+    assert locking_spec.registry_ref is None
+    with pytest.raises(CheckerError, match="registry"):
+        ModelChecker(locking_spec, check_properties=False, engine="parallel")
+
+
+def test_parallel_refuses_graph_collection():
+    spec = build_spec("locking")
+    with pytest.raises(ValueError):
+        ModelChecker(spec, collect_graph=True, engine="parallel")
+    with pytest.raises(ValueError):
+        ModelChecker(spec, engine="parallel", workers=0)
+
+
+def test_cli_check_supports_parallel_engine(capsys):
+    from repro.pipeline.cli import main
+
+    assert main(["check", "locking", "--engine", "parallel", "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "engine: parallel (2 workers)" in out
+    assert "544 distinct states" in out
+
+
+def test_cli_check_warns_when_workers_is_ignored(capsys):
+    from repro.pipeline.cli import main
+
+    assert main(["check", "locking", "--workers", "2"]) == 0
+    assert "only applies to --engine parallel" in capsys.readouterr().err

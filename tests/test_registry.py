@@ -1,0 +1,77 @@
+"""The first-class spec registry: lookup, registry_ref stamping, CLI view."""
+
+import pytest
+
+from repro.pipeline.registry import SPECS, build_spec_by_name
+from repro.tla import Specification
+from repro.tla.errors import SpecError
+from repro.tla.registry import (
+    build_spec,
+    get_entry,
+    register_spec,
+    registered_names,
+)
+
+
+def test_builtin_families_are_registered():
+    names = registered_names()
+    assert {"locking", "raftmongo"} <= set(names)
+    assert names == sorted(names)
+
+
+def test_build_spec_stamps_registry_ref():
+    spec = build_spec("raftmongo", n_nodes=2, variant="mbtc")
+    assert isinstance(spec, Specification)
+    assert spec.registry_ref == ("raftmongo", {"n_nodes": 2, "variant": "mbtc"})
+    # The ref rebuilds an equivalent spec -- the parallel workers' contract.
+    name, params = spec.registry_ref
+    rebuilt = build_spec(name, **params)
+    assert rebuilt.name == spec.name
+    assert rebuilt.schema.names == spec.schema.names
+    assert rebuilt.initial_states() == spec.initial_states()
+
+
+def test_unknown_name_and_bad_params_raise_spec_error():
+    with pytest.raises(SpecError, match="unknown specification"):
+        build_spec("no-such-spec")
+    with pytest.raises(SpecError, match="bad parameters"):
+        build_spec("locking", bogus_param=1)
+
+
+def test_duplicate_registration_requires_replace():
+    register_spec("_test_dup", lambda: None, replace=True)
+    with pytest.raises(SpecError, match="already registered"):
+        register_spec("_test_dup", lambda: None)
+    register_spec("_test_dup", lambda: None, replace=True)
+
+
+def test_pipeline_specs_view_is_live_and_read_only():
+    assert "locking" in SPECS
+    assert set(registered_names()) == set(SPECS)
+    entry = SPECS["locking"]
+    assert entry.name == "locking"
+    with pytest.raises(KeyError):
+        SPECS["no-such-spec"]
+
+    register_spec("_test_live", lambda: None, replace=True)
+    assert "_test_live" in SPECS  # late registrations show through the view
+
+
+def test_cli_rejects_spec_registered_without_log_metadata(capsys):
+    from repro.pipeline.cli import main
+    from repro.specs.locking import spec_factory
+
+    register_spec("_test_nometa", spec_factory, replace=True)
+    assert main(["trace", "_test_nometa", "whatever.jsonl"]) == 2
+    assert "per_node_variables" in capsys.readouterr().err
+    # Without --log-dir, simulate works fine (metadata only gates log writing).
+    assert main(["simulate", "_test_nometa", "--traces", "5", "--workers", "1"]) == 0
+
+
+def test_build_spec_by_name_returns_entry_with_pipeline_hooks():
+    spec, entry = build_spec_by_name("locking", n_threads=3)
+    assert spec.constants["n_threads"] == 3
+    assert spec.registry_ref == ("locking", {"n_threads": 3})
+    assert entry.per_node_variables(spec) == ("held",)
+    assert entry.node_count(spec) == 3
+    assert get_entry("locking") is entry

@@ -1,0 +1,75 @@
+"""Process-based batch trace checking: parity with the thread executor."""
+
+import pytest
+
+from repro.pipeline import check_traces, generate_workload
+from repro.tla.registry import build_spec
+
+
+def _workload(spec, n=60):
+    return list(
+        generate_workload(spec, n_traces=n, seed=11, fault_rate=0.25)
+    )
+
+
+def test_process_executor_matches_thread_executor():
+    spec = build_spec("raftmongo", variant="original")
+    workload = _workload(spec)
+    thread = check_traces(spec, workload, workers=2, executor="thread")
+    process = check_traces(spec, workload, workers=2, executor="process")
+
+    assert process.executor == "process" and thread.executor == "thread"
+    assert (process.total, process.passed, process.failed) == (
+        thread.total,
+        thread.passed,
+        thread.failed,
+    )
+    assert [o.index for o in process.failures] == [o.index for o in thread.failures]
+    assert process.ok and thread.ok
+    assert (
+        process.coverage.visited_fingerprints == thread.coverage.visited_fingerprints
+    )
+    assert process.coverage.action_counts == thread.coverage.action_counts
+
+
+def test_process_executor_merges_cache_stats():
+    spec = build_spec("locking")
+    report = check_traces(spec, _workload(spec, n=40), workers=2, executor="process")
+    assert report.cache_hits + report.cache_misses > 0
+    assert "process worker(s)" in report.summary()
+
+
+def test_process_executor_requires_registry_ref(locking_spec):
+    assert locking_spec.registry_ref is None
+    with pytest.raises(ValueError, match="registry"):
+        check_traces(locking_spec, [], executor="process")
+
+
+def test_unknown_executor_rejected(locking_spec):
+    with pytest.raises(ValueError, match="unknown executor"):
+        check_traces(locking_spec, [], executor="fiber")
+
+
+def test_cli_simulate_supports_process_executor(capsys):
+    from repro.pipeline.cli import main
+
+    code = main(
+        [
+            "simulate",
+            "locking",
+            "--traces",
+            "40",
+            "--fault-rate",
+            "0.2",
+            "--seed",
+            "3",
+            "--workers",
+            "2",
+            "--executor",
+            "process",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "2 process worker(s)" in out
+    assert "PASS" in out

@@ -1,0 +1,50 @@
+"""A registered test-only spec family for the parallel-engine parity suite.
+
+This lives in its own importable module (not inside a test file) so that it
+can ride the production provider mechanism: the coordinator appends
+``widecounter_spec`` to ``PROVIDER_MODULES`` and pool workers import it,
+which re-runs the registration below in *their* interpreter.  That keeps the
+parity suite working under any multiprocessing start method -- relying on
+registration-at-test-import would only work where ``fork`` copies the
+parent's registry.
+"""
+
+from repro.tla import Action, Invariant, Specification
+from repro.tla.registry import PROVIDER_MODULES, register_spec
+
+
+def wide_counter_factory(limit=40, invariant_bound=None, width=6, ceiling=8):
+    """A tunable spec family: wide frontiers, optional violation, deadlock.
+
+    Width 6 gives BFS levels wide enough to engage the process pool (the
+    checker expands levels below ``workers * 8`` states inline), so the
+    sharded code path is genuinely exercised.
+    """
+
+    def init():
+        yield {"xs": (0,) * width}
+
+    def increment(state):
+        xs = state["xs"]
+        for i in range(width):
+            if xs[i] < limit:
+                yield {"xs": xs[:i] + (xs[i] + 1,) + xs[i + 1 :]}
+
+    invariants = []
+    if invariant_bound is not None:
+        invariants.append(
+            Invariant("Bounded", lambda s: sum(s["xs"]) < invariant_bound)
+        )
+    return Specification(
+        "WideCounter",
+        variables=("xs",),
+        init=init,
+        actions=[Action("Increment", increment)],
+        invariants=invariants,
+        constraint=lambda s: sum(s["xs"]) <= ceiling,
+    )
+
+
+register_spec("_test_widecounter", wide_counter_factory, replace=True)
+if "widecounter_spec" not in PROVIDER_MODULES:
+    PROVIDER_MODULES.append("widecounter_spec")
