@@ -10,8 +10,11 @@ Layers, bottom to top:
 * :mod:`repro.pipeline` -- the scale layer: JSON-lines server-log ingestion,
   synthetic workload generation with fault injection, a concurrent batch
   trace-checking runner with merged coverage, and the ``python -m repro`` CLI.
+* :mod:`repro.mbtcg` -- model-based test-case generation: enumerates spec
+  behaviours from the retained state graph into deduplicated corpora, pytest
+  source and per-node logs, all replayable back through MBTC.
 """
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
 __all__ = ["__version__"]

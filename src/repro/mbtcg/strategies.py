@@ -1,0 +1,172 @@
+"""Enumeration strategies: which behaviours of the graph become test cases.
+
+Three strategies, mirroring the trade-off the paper's Section 5 case study
+faced (4,913 exhaustive OT tests were practical; larger models need less):
+
+* :func:`exhaustive_behaviours` -- every bounded behaviour, the paper's own
+  approach.  Deduplicated by behaviour fingerprint.
+* :func:`coverage_minimized` -- a greedy set cover picking the fewest
+  behaviours that together cover every ``(action, enabled-state-class)``
+  edge the exhaustive suite covers.  The *class* of a state is the set of
+  action names enabled in it (derived from the graph's outgoing edges), so
+  the goals distinguish "Integrate taken while both sites could still
+  propose" from "Integrate taken in a merge-only state" -- Dick & Faivre's
+  classic partition-by-enabledness criterion.
+* :func:`random_sampled` -- seeded random walks for graphs too large to
+  enumerate, deduplicated so the sample contains no repeated execution.
+
+Every strategy returns ``(behaviours, enumerated)`` where ``enumerated``
+counts behaviours *before* deduplication; the generator turns the ratio into
+the dedup statistic the bench reports.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from ..tla.graph import StateGraph
+from .testcase import Behaviour, behaviour_fingerprint
+
+__all__ = [
+    "STRATEGIES",
+    "CoveragePair",
+    "coverage_minimized",
+    "coverage_pairs",
+    "dedup_behaviours",
+    "exhaustive_behaviours",
+    "random_sampled",
+    "state_classes",
+]
+
+#: The strategy names accepted by the generator and the CLI.
+STRATEGIES: Tuple[str, ...] = ("exhaustive", "coverage", "random")
+
+#: One coverage goal: an action name taken from a state whose enabled-action
+#: set is the given class.
+CoveragePair = Tuple[str, FrozenSet[str]]
+
+
+def dedup_behaviours(
+    behaviours: Iterable[Behaviour],
+) -> Tuple[List[Behaviour], int]:
+    """Drop fingerprint-duplicate behaviours; returns (unique, total seen)."""
+    seen: Set[int] = set()
+    unique: List[Behaviour] = []
+    total = 0
+    for behaviour in behaviours:
+        total += 1
+        key = behaviour_fingerprint(behaviour)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(behaviour)
+    return unique, total
+
+
+def exhaustive_behaviours(
+    graph: StateGraph, *, max_length: int
+) -> Tuple[List[Behaviour], int]:
+    """Every behaviour up to ``max_length`` states, deduplicated."""
+    return dedup_behaviours(graph.behaviours(max_length=max_length))
+
+
+def state_classes(graph: StateGraph) -> List[FrozenSet[str]]:
+    """Per node id, the class of the state: the set of enabled action names."""
+    return [
+        frozenset(edge.action for edge in graph.outgoing(node))
+        for node in range(len(graph))
+    ]
+
+
+def coverage_pairs(
+    graph: StateGraph,
+    behaviour: Behaviour,
+    classes: Sequence[FrozenSet[str]],
+) -> Set[CoveragePair]:
+    """The ``(action, source-state class)`` goals one behaviour covers."""
+    pairs: Set[CoveragePair] = set()
+    for index in range(1, len(behaviour)):
+        action = behaviour[index][0]
+        assert action is not None  # only the first pair carries None
+        source = behaviour[index - 1][1]
+        pairs.add((action, classes[graph.id_of(source)]))
+    return pairs
+
+
+def coverage_minimized(
+    graph: StateGraph,
+    *,
+    max_length: int,
+    candidates: Sequence[Behaviour] = (),
+) -> Tuple[List[Behaviour], int]:
+    """Greedy minimum-ish suite covering every reachable coverage pair.
+
+    ``candidates`` lets the caller reuse an already-enumerated exhaustive
+    suite (the parallel generator does); otherwise the exhaustive suite at
+    the same ``max_length`` is enumerated here, which guarantees the chosen
+    suite's action coverage is identical to the exhaustive suite's -- the
+    goals are exactly the pairs the exhaustive behaviours witness.
+
+    The pool is sorted canonically (length, then behaviour fingerprint)
+    before the greedy pass, so tie-breaking -- and therefore the chosen
+    suite -- does not depend on enumeration order; serial and partitioned
+    parallel enumeration select the same cases.
+    """
+    if candidates:
+        pool, enumerated = list(candidates), len(candidates)
+    else:
+        pool, enumerated = exhaustive_behaviours(graph, max_length=max_length)
+    pool.sort(key=lambda behaviour: (len(behaviour), behaviour_fingerprint(behaviour)))
+    classes = state_classes(graph)
+    per_behaviour: List[Set[CoveragePair]] = [
+        coverage_pairs(graph, behaviour, classes) for behaviour in pool
+    ]
+    uncovered: Set[CoveragePair] = set().union(*per_behaviour) if per_behaviour else set()
+
+    chosen_indices: List[int] = []
+    while uncovered:
+        best_index = -1
+        best_gain = 0
+        for index, pairs in enumerate(per_behaviour):
+            gain = len(pairs & uncovered)
+            if gain > best_gain:
+                best_index, best_gain = index, gain
+        if best_index < 0:  # pragma: no cover - uncovered came from the pool
+            break
+        chosen_indices.append(best_index)
+        uncovered -= per_behaviour[best_index]
+    chosen_indices.sort()  # deterministic: enumeration order, not pick order
+    return [pool[index] for index in chosen_indices], enumerated
+
+
+def random_sampled(
+    graph: StateGraph,
+    *,
+    max_length: int,
+    n_tests: int,
+    seed: int = 0,
+) -> Tuple[List[Behaviour], int]:
+    """Sample up to ``n_tests`` distinct behaviours by seeded random walks.
+
+    Sampling is with replacement, so attempts are capped (25 per requested
+    test) to terminate on graphs with fewer than ``n_tests`` distinct
+    walks; the attempt count is returned as the enumerated total, making the
+    dedup ratio the sampler's collision statistic.
+    """
+    if n_tests < 1:
+        raise ValueError("n_tests must be >= 1")
+    rng = random.Random(seed)
+    seen: Set[int] = set()
+    sample: List[Behaviour] = []
+    attempts = 0
+    max_attempts = max(n_tests * 25, 100)
+    while len(sample) < n_tests and attempts < max_attempts:
+        attempts += 1
+        behaviour = graph.random_walk(rng, max_length=max_length)
+        key = behaviour_fingerprint(behaviour)
+        if key in seen:
+            continue
+        seen.add(key)
+        sample.append(behaviour)
+    return sample, attempts

@@ -6,12 +6,15 @@ fast enough to run routinely.  This harness records where this reproduction
 stands after every PR: it times
 
 * model checking with the ``states``, ``fingerprint`` and ``parallel``
-  engines (the latter across a list of worker counts), and
-* batch trace checking with the ``thread`` and ``process`` executors,
+  engines (the latter across a list of worker counts),
+* batch trace checking with the ``thread`` and ``process`` executors, and
+* MBTCG test-case generation (every :mod:`repro.mbtcg` strategy) -- the
+  tests/sec and dedup-ratio trajectory of the generation workload,
 
 on the registered specification families, and writes one JSON document
-(``BENCH_results.json``) with wall times, states/sec, traces/sec, peak
-frontier sizes and speedups relative to the serial ``fingerprint`` baseline.
+(``BENCH_results.json``) with wall times, states/sec, traces/sec, tests/sec,
+peak frontier sizes and speedups relative to the serial ``fingerprint``
+baseline.
 CI runs ``python -m repro bench --smoke`` and uploads the JSON as an
 artifact, so the perf trajectory is recorded per commit.
 
@@ -38,7 +41,7 @@ from .workload import generate_workload
 
 __all__ = ["BenchConfig", "run_bench", "summarize", "write_results"]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: (registry name, params) pairs benchmarked by default.  The second locking
 #: configuration triples the thread count so the parallel engine has a state
@@ -55,6 +58,18 @@ SMOKE_SPECS: Tuple[Tuple[str, Dict[str, Any]], ...] = (
     ("raftmongo", {"variant": "mbtc", "n_nodes": 2}),
 )
 
+#: ``(registry name, params, max behaviour length)`` tuples for the MBTCG
+#: generation stage.  ot_array is the paper's own generation workload;
+#: locking exercises a cyclic graph where ``max_length`` does the bounding.
+DEFAULT_GENERATION: Tuple[Tuple[str, Dict[str, Any], int], ...] = (
+    ("ot_array", {}, 6),
+    ("locking", {}, 4),
+)
+
+SMOKE_GENERATION: Tuple[Tuple[str, Dict[str, Any], int], ...] = (
+    ("ot_array", {}, 5),
+)
+
 
 @dataclass
 class BenchConfig:
@@ -65,6 +80,8 @@ class BenchConfig:
     n_traces: int = 400
     trace_seed: int = 42
     fault_rate: float = 0.1
+    generation: Sequence[Tuple[str, Dict[str, Any], int]] = DEFAULT_GENERATION
+    generation_samples: int = 100
     smoke: bool = False
 
     @classmethod
@@ -73,6 +90,8 @@ class BenchConfig:
             specs=SMOKE_SPECS,
             worker_counts=(1, 2),
             n_traces=60,
+            generation=SMOKE_GENERATION,
+            generation_samples=40,
             smoke=True,
         )
 
@@ -131,6 +150,45 @@ def _time_traces(
         "unexpected_verdicts": len(report.surprises),
         "cache_hits": report.cache_hits,
         "cache_misses": report.cache_misses,
+    }
+
+
+def _time_generation(
+    name: str,
+    params: Dict[str, Any],
+    strategy: str,
+    max_length: int,
+    n_tests: int,
+    seed: int,
+) -> Dict[str, Any]:
+    """One MBTCG generation row: graph build + enumeration + dedup, timed whole.
+
+    The wall time deliberately includes the model-checking run that builds
+    the state graph -- that is what ``repro generate`` costs end to end.
+    """
+    # Imported here, not at module level: repro.pipeline's own __init__ pulls
+    # this module in, and repro.mbtcg's emitters import repro.pipeline.logs,
+    # so a top-level import would make `import repro.mbtcg` circular.
+    from ..mbtcg import generate_suite
+
+    spec = build_spec(name, **params)
+    suite = generate_suite(
+        spec, strategy=strategy, max_length=max_length, n_tests=n_tests, seed=seed
+    )
+    stats = suite.stats
+    return {
+        "spec": name,
+        "params": params,
+        "label": _spec_label(name, params),
+        "strategy": strategy,
+        "max_length": max_length,
+        "wall_seconds": round(stats.duration_seconds, 6),
+        "graph_states": stats.graph_states,
+        "enumerated": stats.enumerated,
+        "tests": stats.emitted,
+        "dedup_ratio": round(stats.dedup_ratio, 4),
+        "tests_per_second": round(stats.tests_per_second, 1),
+        "coverage_pairs": stats.coverage_pair_count,
     }
 
 
@@ -198,6 +256,24 @@ def run_bench(
         lambda row: row["executor"] == "thread" and row["workers"] == 1,
     )
 
+    from ..mbtcg import STRATEGIES  # deferred: see _time_generation
+
+    generation_rows: List[Dict[str, Any]] = []
+    for name, params, max_length in cfg.generation:
+        label = _spec_label(name, params)
+        for strategy in STRATEGIES:
+            say(f"generate {label} strategy={strategy} max_length={max_length}")
+            generation_rows.append(
+                _time_generation(
+                    name,
+                    params,
+                    strategy,
+                    max_length,
+                    cfg.generation_samples,
+                    cfg.trace_seed,
+                )
+            )
+
     notes: List[str] = []
     if cpu_count == 1:
         notes.append(
@@ -240,6 +316,7 @@ def run_bench(
         },
         "model_checking": checking_rows,
         "trace_checking": trace_rows,
+        "test_generation": generation_rows,
         "notes": notes,
     }
 
@@ -275,6 +352,15 @@ def summarize(results: Dict[str, Any]) -> str:
             f"  {row['label']:<28} {row['executor']:<8} workers={row['workers']} "
             f"{row['wall_seconds']:.3f}s  {row['traces_per_second']} tr/s{speedup}"
         )
+    if results.get("test_generation"):
+        lines.append("MBTCG test generation (tests/sec; dedup ratio):")
+        for row in results["test_generation"]:
+            lines.append(
+                f"  {row['label']:<28} {row['strategy']:<11} "
+                f"max_length={row['max_length']} {row['wall_seconds']:.3f}s  "
+                f"{row['tests']} tests  {row['tests_per_second']} t/s  "
+                f"dedup {row['dedup_ratio']}"
+            )
     for note in results["notes"]:
         lines.append(f"note: {note}")
     return "\n".join(lines)

@@ -1,4 +1,4 @@
-"""The ``python -m repro`` command line: check, trace and simulate.
+"""The ``python -m repro`` command line: check, trace, simulate and generate.
 
 Subcommands mirror the paper's workflow:
 
@@ -7,6 +7,9 @@ Subcommands mirror the paper's workflow:
   verify it against the spec, and optionally accumulate coverage,
 * ``simulate``-- the scale path: generate a synthetic workload (optionally
   fault-injected), batch-check it concurrently, and report merged coverage,
+* ``generate``-- MBTCG (paper Section 5): enumerate the spec's behaviours
+  into a deduplicated test corpus, optionally emit pytest source and
+  per-node logs, and replay the corpus through the MBTC batch checker,
 * ``bench``   -- the perf trajectory: time every engine x worker count on the
   registered specs and write ``BENCH_results.json``.
 """
@@ -20,6 +23,8 @@ import os
 import sys
 from typing import List, Optional, Sequence
 
+from ..mbtcg import STRATEGIES, generate_suite, replay_corpus, write_corpus
+from ..mbtcg.emitters import write_log_suite, write_pytest_module
 from ..tla import ModelChecker, check_spec
 from ..tla.checker import default_worker_count
 from ..tla.coverage import CoverageReport, coverage_of_trace
@@ -129,6 +134,85 @@ def build_parser() -> argparse.ArgumentParser:
         "--with-reachable",
         action="store_true",
         help="model-check first so coverage is a fraction of the reachable space",
+    )
+
+    gen_p = sub.add_parser(
+        "generate",
+        help="MBTCG: enumerate spec behaviours into an executable test corpus",
+    )
+    gen_p.add_argument(
+        "--spec",
+        choices=sorted(SPECS),
+        default=None,
+        help="specification to generate from (required unless --smoke)",
+    )
+    gen_p.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="spec configuration parameter (repeatable), e.g. init_length=2",
+    )
+    gen_p.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default="exhaustive",
+        help="enumeration strategy (default: %(default)s)",
+    )
+    gen_p.add_argument(
+        "--max-length",
+        type=int,
+        default=6,
+        help="maximum behaviour length in states (default: %(default)s)",
+    )
+    gen_p.add_argument(
+        "--tests",
+        type=int,
+        default=50,
+        help="sample size for --strategy random (default: %(default)s)",
+    )
+    gen_p.add_argument("--seed", type=int, default=0, help="random-strategy seed")
+    gen_p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard exhaustive/coverage enumeration over N worker processes",
+    )
+    gen_p.add_argument(
+        "--max-states",
+        type=int,
+        default=None,
+        help="truncate graph exploration (generated prefixes still replay)",
+    )
+    gen_p.add_argument(
+        "--out",
+        metavar="FILE",
+        default="mbtcg_corpus.jsonl",
+        help="JSON-lines corpus output (default: %(default)s)",
+    )
+    gen_p.add_argument(
+        "--pytest-out", metavar="FILE", help="also emit a runnable pytest module"
+    )
+    gen_p.add_argument(
+        "--log-dir",
+        metavar="DIR",
+        help="also write cases as per-node logs replayable by `repro trace`",
+    )
+    gen_p.add_argument(
+        "--log-limit",
+        type=int,
+        default=10,
+        help="cases written as logs with --log-dir (default: %(default)s)",
+    )
+    gen_p.add_argument(
+        "--replay",
+        action="store_true",
+        help="replay the emitted corpus through check_traces (MBTCG -> MBTC)",
+    )
+    gen_p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI preset: small ot_array suite, corpus written, replay verified",
     )
 
     bench_p = sub.add_parser(
@@ -339,21 +423,80 @@ def _write_workload_logs(spec, entry, traces, log_dir: str) -> int:
     nodes = entry.node_count(spec)
     written = 0
     for index, generated in enumerate(traces):
-        events = log_module.events_from_trace(
-            spec, generated.states, per_node=per_node, actions=generated.actions
+        written += len(
+            log_module.write_per_node_logs(
+                spec,
+                generated.states,
+                per_node=per_node,
+                nodes=nodes,
+                directory=log_dir,
+                basename=f"trace{index:04d}",
+                actions=generated.actions,
+            )
         )
-        for node in range(nodes):
-            # Global (node=None) events land in node 0's file; the merge by
-            # timestamp restores the total order regardless of placement.
-            mine = [
-                event
-                for event in events
-                if event.node == node or (node == 0 and event.node is None)
-            ]
-            path = os.path.join(log_dir, f"trace{index:04d}-node{node}.jsonl")
-            log_module.write_log_file(path, mine)
-            written += 1
     return written
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    spec_name = args.spec
+    strategy = args.strategy
+    max_length = args.max_length
+    replay = args.replay
+    if args.smoke:
+        # The CI preset: a small OT suite, generated and replayed end to end.
+        spec_name = spec_name or "ot_array"
+        max_length = min(max_length, 5)
+        replay = True
+    if spec_name is None:
+        print("error: --spec is required (or use --smoke)", file=sys.stderr)
+        return 2
+    spec, entry = build_spec_by_name(spec_name, **parse_params(tuple(args.param)))
+    suite = generate_suite(
+        spec,
+        strategy=strategy,
+        max_length=max_length,
+        n_tests=args.tests,
+        seed=args.seed,
+        workers=args.workers,
+        max_states=args.max_states,
+    )
+    print(suite.summary())
+    stats = suite.stats
+    print(
+        f"  graph: {stats.graph_states} state(s), {stats.graph_edges} edge(s); "
+        f"coverage goals hit: {stats.coverage_pair_count}; "
+        f"{stats.tests_per_second:.0f} tests/sec"
+    )
+    exercised = ", ".join(sorted(suite.action_names())) or "(none)"
+    print(f"  actions exercised: {exercised}")
+
+    count = write_corpus(suite, args.out)
+    print(f"corpus of {count} case(s) written to {args.out}")
+    if args.pytest_out:
+        write_pytest_module(suite, args.pytest_out)
+        print(f"pytest module written to {args.pytest_out}")
+    if args.log_dir:
+        os.makedirs(args.log_dir, exist_ok=True)
+        paths = write_log_suite(
+            suite, spec, args.log_dir, entry=entry, limit=args.log_limit
+        )
+        print(f"wrote {len(paths)} log file(s) to {args.log_dir}")
+
+    if replay:
+        _header, report = replay_corpus(args.out, workers=args.workers)
+        print(
+            f"replay through MBTC: PASS {report.passed}  FAIL {report.failed}  "
+            f"({report.total} case(s) in {report.duration_seconds:.2f}s)"
+        )
+        if report.failed:
+            print(
+                f"error: {report.failed} generated case(s) failed trace "
+                "checking; the generator emitted an invalid behaviour",
+                file=sys.stderr,
+            )
+            return 1
+        print("MBTCG -> MBTC loop closed: every generated case replays cleanly")
+    return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -388,6 +531,7 @@ _COMMANDS = {
     "check": _cmd_check,
     "trace": _cmd_trace,
     "simulate": _cmd_simulate,
+    "generate": _cmd_generate,
     "bench": _cmd_bench,
 }
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import heapq
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -51,6 +52,7 @@ __all__ = [
     "read_log_files",
     "trace_from_logs",
     "write_log_file",
+    "write_per_node_logs",
 ]
 
 
@@ -282,6 +284,40 @@ def write_log_file(path: str, events: Iterable[LogEvent]) -> int:
             handle.write(format_event(event) + "\n")
             count += 1
     return count
+
+
+def write_per_node_logs(
+    spec: Specification,
+    states: Sequence[State],
+    *,
+    per_node: Sequence[str],
+    nodes: int,
+    directory: str,
+    basename: str,
+    actions: Sequence[Optional[str]] = (),
+) -> List[str]:
+    """Write one trace as per-node JSON-lines files; returns the paths.
+
+    The inverse of :func:`trace_from_logs` for one execution: the trace is
+    diffed into events and each node's events land in
+    ``{basename}-node{N}.jsonl``.  Global (``node=None``) events are placed
+    in node 0's file; the timestamp merge restores the total order on read.
+    Shared by ``repro simulate --log-dir`` and the :mod:`repro.mbtcg` log
+    emitter, so both sides of the generate -> replay loop speak the same
+    format.
+    """
+    events = events_from_trace(spec, states, per_node=per_node, actions=actions)
+    paths: List[str] = []
+    for node in range(nodes):
+        mine = [
+            event
+            for event in events
+            if event.node == node or (node == 0 and event.node is None)
+        ]
+        path = os.path.join(directory, f"{basename}-node{node}.jsonl")
+        write_log_file(path, mine)
+        paths.append(path)
+    return paths
 
 
 def events_from_trace(

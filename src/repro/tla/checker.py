@@ -10,7 +10,9 @@ The checker does what the paper relies on TLC for:
 * statistics (distinct states, generated states, diameter) matching the
   numbers TLC prints and which the paper quotes (42,034 and 371,368 states
   for the two RaftMongo variants), and
-* optional retention of the full state graph, which MBTCG consumes.
+* optional retention of the full state graph, which the :mod:`repro.mbtcg`
+  test-case generation subsystem consumes (see
+  :func:`repro.mbtcg.generator.generate_suite`).
 
 Three exploration engines are provided:
 
@@ -33,7 +35,7 @@ Three exploration engines are provided:
   module.
 * ``"states"`` -- the original engine: every distinct ``State`` is retained.
   Required (and selected automatically) when the state graph is collected for
-  temporal properties or MBTCG.
+  temporal properties or :mod:`repro.mbtcg` behaviour enumeration.
 """
 
 from __future__ import annotations
@@ -569,8 +571,9 @@ class ModelChecker:
     def _run_states(self, result: CheckResult) -> None:
         """The original engine: every distinct state object is retained.
 
-        Required when the state graph is collected (temporal properties,
-        MBTCG's DOT export) because graph nodes must resolve back to states.
+        Required when the state graph is collected (temporal properties, DOT
+        export, :mod:`repro.mbtcg` test-case generation) because graph nodes
+        must resolve back to states.
         """
         spec = self.spec
         graph = StateGraph() if self.collect_graph else None

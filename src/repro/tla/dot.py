@@ -3,10 +3,11 @@
 TLC can dump the reachable state graph as a GraphViz DOT file; the Realm Sync
 team wrote a Golang program that parses that file and generates C++ test
 cases (paper Section 5.2).  We reproduce both halves of that workflow: the
-model checker exports a DOT file via :func:`to_dot`, and the MBTCG package
-parses it back via :func:`parse_dot` rather than reaching into checker
-internals, so the test-case generator exercises the same parse-the-artifact
-path the paper describes.
+model checker exports a DOT file via :func:`to_dot`, and :func:`parse_dot`
+reads such a file back for offline inspection.  The in-process test-case
+generator, :mod:`repro.mbtcg`, consumes the retained
+:class:`~repro.tla.graph.StateGraph` directly (lossless values, no
+re-parsing); DOT remains the visualization and cross-tool exchange format.
 
 Node labels carry the full state as JSON so that parsing is lossless.
 """
@@ -66,9 +67,11 @@ class ParsedEdge:
 class ParsedStateGraph:
     """A state graph reconstructed from DOT text.
 
-    Node states come back as plain dictionaries (JSON data), which is exactly
-    what the test-case generator needs: it never evaluates spec code, it only
-    reads the variable values recorded at each node.
+    Node states come back as plain dictionaries (JSON data), suitable for
+    offline tooling that only reads the variable values recorded at each
+    node.  The in-process generator (:mod:`repro.mbtcg`) consumes the live
+    :class:`~repro.tla.graph.StateGraph` instead, so its emitted states stay
+    lossless ``State`` objects.
     """
 
     nodes: Dict[int, dict] = field(default_factory=dict)

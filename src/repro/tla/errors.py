@@ -4,8 +4,9 @@ The paper relies on TLC's observable failure modes: invariant violations with a
 counterexample behaviour, deadlock reports, liveness (temporal property)
 violations, and -- in the Realm Sync case study -- a ``StackOverflowError``
 raised by a non-terminating merge rule.  The exceptions below are the Python
-analogues of those failure modes, so callers (benchmarks, the MBTC pipeline,
-and the MBTCG generator) can react to each one specifically.
+analogues of those failure modes, so callers (benchmarks, the MBTC pipeline
+in :mod:`repro.pipeline`, and the :mod:`repro.mbtcg` test-case generator) can
+react to each one specifically.
 """
 
 from __future__ import annotations

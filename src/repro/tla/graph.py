@@ -2,7 +2,10 @@
 
 TLC can export the graph of all reachable states to a GraphViz DOT file; the
 Realm Sync case study parses that file to generate test cases (paper Section
-5.2).  :class:`StateGraph` is the in-memory representation of that graph.  It
+5.2).  :class:`StateGraph` is the in-memory representation of that graph: the
+model checker retains it when ``collect_graph`` is requested, and the
+:mod:`repro.mbtcg` test-case generation subsystem enumerates its behaviours
+(see :mod:`repro.mbtcg.strategies`) to produce executable test suites.  It
 also supports the condensation-based "eventually" checks used to validate
 RaftMongo's temporal property ("the commit point is eventually propagated").
 """
@@ -12,7 +15,7 @@ from __future__ import annotations
 import random
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
@@ -118,27 +121,57 @@ class StateGraph:
         *,
         max_length: int,
         from_initial_only: bool = True,
+        first_edges: Optional[Sequence[Edge]] = None,
     ) -> Iterator[List[Tuple[Optional[str], State]]]:
         """Enumerate finite behaviours (paths) up to ``max_length`` states.
 
         Each behaviour is a list of ``(action taken to reach the state, state)``
-        pairs; the first pair has ``None`` for the action.  Used by MBTCG to
-        enumerate complete runs of the array-OT specification.
+        pairs; the first pair has ``None`` for the action.  This is the
+        enumeration primitive behind the exhaustive and coverage-minimized
+        strategies of :mod:`repro.mbtcg.strategies` (the paper's MBTCG:
+        complete runs of the array-OT specification become test cases).
+
+        ``first_edges`` restricts enumeration to behaviours whose first
+        transition is one of the given edges -- the partitioning hook the
+        parallel generator in :mod:`repro.mbtcg.generator` uses to shard
+        behaviour enumeration across worker processes.  With ``first_edges``
+        every behaviour has at least two states, so ``max_length < 2`` yields
+        nothing.
+
+        Paths share a parent chain internally (``(action, node, parent)``
+        links), so extending a path on each edge push is O(1); a behaviour is
+        materialized only when yielded.
         """
         if max_length < 1:
             return
-        starts = self._initial if from_initial_only else range(len(self._states))
-        stack: List[Tuple[List[Tuple[Optional[str], int]], int]] = []
-        for start in starts:
-            stack.append(([(None, start)], start))
+        # Stack entries are (node id, path length, chain link); a link is
+        # (action, node id, parent link) shared by every extension of the
+        # prefix, instead of copying the whole path per pushed edge.
+        stack: List[Tuple[int, int, Tuple[Optional[str], int, Any]]] = []
+        if first_edges is None:
+            starts = self._initial if from_initial_only else range(len(self._states))
+            for start in starts:
+                stack.append((start, 1, (None, start, None)))
+        else:
+            if max_length < 2:
+                return
+            for edge in first_edges:
+                root = (None, edge.source, None)
+                stack.append((edge.target, 2, (edge.action, edge.target, root)))
         while stack:
-            path, node = stack.pop()
+            node, length, link = stack.pop()
             edges = self._outgoing.get(node, ())
-            if not edges or len(path) >= max_length:
-                yield [(act, self._states[nid]) for act, nid in path]
+            if not edges or length >= max_length:
+                behaviour: List[Tuple[Optional[str], State]] = []
+                cursor: Optional[Tuple[Optional[str], int, Any]] = link
+                while cursor is not None:
+                    act, nid, cursor = cursor
+                    behaviour.append((act, self._states[nid]))
+                behaviour.reverse()
+                yield behaviour
                 continue
             for edge in edges:
-                stack.append((path + [(edge.action, edge.target)], edge.target))
+                stack.append((edge.target, length + 1, (edge.action, edge.target, link)))
 
     def random_walk(
         self,
@@ -229,7 +262,7 @@ class StateGraph:
         """Fingerprints of every state in the graph (for coverage reports)."""
         return {state.fingerprint() for state in self._states}
 
-    # Queries used by MBTCG ---------------------------------------------------------
+    # Queries used by repro.mbtcg ---------------------------------------------------
     def find_states(self, predicate: Callable[[State], bool]) -> List[int]:
         """Node ids of all states satisfying ``predicate``."""
         return [node for node, state in enumerate(self._states) if predicate(state)]

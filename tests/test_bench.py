@@ -21,13 +21,15 @@ def smoke_results():
 
 
 def test_results_document_shape(smoke_results):
-    assert smoke_results["schema_version"] == 1
+    assert smoke_results["schema_version"] == 2
     env = smoke_results["environment"]
     assert env["cpu_count"] >= 1 and env["python"]
     # 2 specs x (states + fingerprint + 2 parallel worker counts)
     assert len(smoke_results["model_checking"]) == 8
     # 2 specs x (thread@1, thread@max, process@1, process@2)
     assert len(smoke_results["trace_checking"]) == 8
+    # 2 generation specs (this config inherits DEFAULT_GENERATION) x 3 strategies
+    assert len(smoke_results["test_generation"]) == 6
     for row in smoke_results["model_checking"]:
         assert row["ok"]
         assert row["wall_seconds"] > 0
@@ -35,6 +37,10 @@ def test_results_document_shape(smoke_results):
     for row in smoke_results["trace_checking"]:
         assert row["unexpected_verdicts"] == 0
         assert row["traces"] == 30
+    for row in smoke_results["test_generation"]:
+        assert row["tests"] > 0
+        assert 0.0 < row["dedup_ratio"] <= 1.0
+        assert row["coverage_pairs"] > 0
 
 
 def test_bench_is_a_cross_engine_parity_witness(smoke_results):
@@ -68,6 +74,7 @@ def test_write_results_and_summarize(tmp_path, smoke_results):
     assert loaded["model_checking"] == smoke_results["model_checking"]
     digest = summarize(smoke_results)
     assert "model checking" in digest and "batch trace checking" in digest
+    assert "MBTCG test generation" in digest
 
 
 def test_cli_bench_smoke_writes_json(tmp_path, capsys):

@@ -1,0 +1,202 @@
+"""The StateGraph query layer: behaviours, paths_to, random_walk, terminal_ids."""
+
+import random
+
+import pytest
+
+from repro.tla import check_spec
+from repro.tla.errors import SpecError
+from repro.tla.graph import StateGraph
+from repro.tla.state import State, VariableSchema
+
+from conftest import make_counter_spec
+
+SCHEMA = VariableSchema(("x",))
+
+
+def _state(x):
+    return State(SCHEMA, {"x": x})
+
+
+def _graph(edges, initial=(0,), n_nodes=None):
+    """Build a graph over integer-valued states 0..n-1 from (src, act, dst)."""
+    if n_nodes is None:
+        n_nodes = max([0, *[max(s, d) for s, _a, d in edges]]) + 1
+    graph = StateGraph()
+    for node in range(n_nodes):
+        graph.add_state(_state(node), initial=node in initial)
+    for source, action, target in edges:
+        graph.add_edge(source, action, target)
+    return graph
+
+
+def _as_tuples(behaviour):
+    return tuple((action, state["x"]) for action, state in behaviour)
+
+
+# ---------------------------------------------------------------------------
+# behaviours
+# ---------------------------------------------------------------------------
+
+
+def test_behaviours_enumerates_all_paths_of_a_chain(counter_spec):
+    graph = check_spec(counter_spec, collect_graph=True).graph
+    behaviours = list(graph.behaviours(max_length=10))
+    # The counter graph is a single chain 0 -> 1 -> ... -> 5: one behaviour.
+    assert len(behaviours) == 1
+    actions, values = zip(*_as_tuples(behaviours[0]))
+    assert values == (0, 1, 2, 3, 4, 5)
+    assert actions == (None,) + ("Increment",) * 5
+
+
+def test_behaviours_max_length_one_yields_initial_singletons():
+    graph = _graph([(0, "a", 1), (1, "a", 2)], initial=(0,))
+    behaviours = [_as_tuples(b) for b in graph.behaviours(max_length=1)]
+    assert behaviours == [((None, 0),)]
+
+
+def test_behaviours_max_length_zero_yields_nothing():
+    graph = _graph([(0, "a", 1)])
+    assert list(graph.behaviours(max_length=0)) == []
+
+
+def test_behaviours_terminate_on_cycles_at_max_length():
+    # 0 -> 1 -> 0: without the max_length bound this would never terminate.
+    graph = _graph([(0, "go", 1), (1, "back", 0)], initial=(0,))
+    behaviours = [_as_tuples(b) for b in graph.behaviours(max_length=4)]
+    assert behaviours == [
+        ((None, 0), ("go", 1), ("back", 0), ("go", 1)),
+    ]
+
+
+def test_behaviours_branching_yields_every_leaf_path():
+    graph = _graph(
+        [(0, "l", 1), (0, "r", 2), (1, "l", 3), (1, "r", 4)], initial=(0,)
+    )
+    behaviours = {_as_tuples(b) for b in graph.behaviours(max_length=5)}
+    assert behaviours == {
+        ((None, 0), ("l", 1), ("l", 3)),
+        ((None, 0), ("l", 1), ("r", 4)),
+        ((None, 0), ("r", 2)),
+    }
+
+
+def test_behaviours_with_no_initial_states_is_empty():
+    graph = _graph([(0, "a", 1)], initial=())
+    assert list(graph.behaviours(max_length=5)) == []
+
+
+def test_behaviours_from_all_states_when_not_initial_only():
+    graph = _graph([(0, "a", 1)], initial=())
+    behaviours = {_as_tuples(b) for b in graph.behaviours(max_length=5, from_initial_only=False)}
+    assert behaviours == {((None, 0), ("a", 1)), ((None, 1),)}
+
+
+def test_behaviours_first_edges_partition_is_exact():
+    graph = _graph(
+        [(0, "l", 1), (0, "r", 2), (1, "l", 3), (1, "r", 4)], initial=(0,)
+    )
+    out = graph.outgoing(0)
+    full = {_as_tuples(b) for b in graph.behaviours(max_length=5)}
+    parts = [
+        {_as_tuples(b) for b in graph.behaviours(max_length=5, first_edges=[edge])}
+        for edge in out
+    ]
+    merged = set().union(*parts)
+    assert merged == full
+    assert sum(len(part) for part in parts) == len(full)  # disjoint shards
+    # first_edges implies length >= 2, so max_length=1 yields nothing.
+    assert list(graph.behaviours(max_length=1, first_edges=list(out))) == []
+
+
+def test_behaviours_deep_chain_is_linear_not_quadratic():
+    # A 2000-state chain: the shared parent chain makes this instant; the old
+    # path-copying implementation did ~2M element copies here.
+    n = 2000
+    graph = _graph([(i, "step", i + 1) for i in range(n - 1)], initial=(0,))
+    (behaviour,) = list(graph.behaviours(max_length=n))
+    assert len(behaviour) == n
+    assert behaviour[0][0] is None and behaviour[-1][1]["x"] == n - 1
+
+
+# ---------------------------------------------------------------------------
+# paths_to
+# ---------------------------------------------------------------------------
+
+
+def test_paths_to_yields_shortest_first():
+    graph = _graph(
+        [(0, "slow", 1), (1, "slow", 2), (0, "fast", 2)], initial=(0,)
+    )
+    paths = [_as_tuples(p) for p in graph.paths_to([2])]
+    assert paths[0] == ((None, 0), ("fast", 2))
+
+
+def test_paths_to_unreachable_target_yields_nothing():
+    graph = _graph([(0, "a", 1)], initial=(0,), n_nodes=3)
+    assert list(graph.paths_to([2])) == []
+
+
+def test_paths_to_respects_max_length():
+    graph = _graph([(0, "a", 1), (1, "a", 2)], initial=(0,))
+    assert list(graph.paths_to([2], max_length=2)) == []
+    assert len(list(graph.paths_to([2], max_length=3))) == 1
+
+
+def test_paths_to_with_no_initial_states_is_empty():
+    graph = _graph([(0, "a", 1)], initial=())
+    assert list(graph.paths_to([1])) == []
+
+
+# ---------------------------------------------------------------------------
+# random_walk
+# ---------------------------------------------------------------------------
+
+
+def test_random_walk_is_deterministic_per_seed():
+    graph = _graph(
+        [(0, "l", 1), (0, "r", 2), (1, "l", 3), (2, "r", 4)], initial=(0,)
+    )
+    walk_a = _as_tuples(graph.random_walk(random.Random(7), max_length=10))
+    walk_b = _as_tuples(graph.random_walk(random.Random(7), max_length=10))
+    assert walk_a == walk_b
+
+
+def test_random_walk_stops_at_terminal_nodes():
+    graph = _graph([(0, "a", 1)], initial=(0,))
+    walk = graph.random_walk(random.Random(0), max_length=50)
+    assert _as_tuples(walk) == ((None, 0), ("a", 1))
+
+
+def test_random_walk_without_initial_states_raises():
+    graph = _graph([(0, "a", 1)], initial=())
+    with pytest.raises(SpecError):
+        graph.random_walk(random.Random(0), max_length=5)
+
+
+def test_random_walk_rejects_zero_max_length():
+    graph = _graph([(0, "a", 1)], initial=(0,))
+    with pytest.raises(SpecError):
+        graph.random_walk(random.Random(0), max_length=0)
+
+
+# ---------------------------------------------------------------------------
+# terminal_ids
+# ---------------------------------------------------------------------------
+
+
+def test_terminal_ids_are_nodes_without_outgoing_edges():
+    graph = _graph([(0, "a", 1), (0, "b", 2), (2, "c", 2)], initial=(0,))
+    assert graph.terminal_ids() == [1]
+
+
+def test_terminal_ids_of_edgeless_graph_is_every_node():
+    graph = _graph([], initial=(0,), n_nodes=3)
+    assert graph.terminal_ids() == [0, 1, 2]
+
+
+def test_counter_spec_terminal_matches_behaviour_end():
+    spec = make_counter_spec(limit=3)
+    graph = check_spec(spec, collect_graph=True).graph
+    (terminal,) = graph.terminal_ids()
+    assert graph.state_of(terminal)["x"] == 3
