@@ -3,8 +3,10 @@
 Layers, bottom to top:
 
 * :mod:`repro.tla` -- the TLA+/TLC substitute: value universe, states,
-  specifications, the explicit-state model checker (fingerprint-interned or
-  state-retaining engines), trace checking, coverage, and DOT export.
+  specifications, trace checking, coverage, and DOT export.
+* :mod:`repro.engine` -- the pluggable exploration engines behind the model
+  checker (serial/fingerprint/parallel BFS plus random-walk simulation) and
+  the visited-state store seam (exact, state-retaining, bounded LRU).
 * :mod:`repro.specs` -- concrete specifications: ``RaftMongo`` (two variants,
   as in the paper) and hierarchical ``Locking``.
 * :mod:`repro.pipeline` -- the scale layer: JSON-lines server-log ingestion,
@@ -15,6 +17,6 @@ Layers, bottom to top:
   source and per-node logs, all replayable back through MBTC.
 """
 
-__version__ = "0.3.0"
+__version__ = "0.4.0"
 
 __all__ = ["__version__"]

@@ -1,0 +1,90 @@
+"""Pluggable exploration engines for the model checker (the TLC substitute).
+
+This package is the engine seam the monolithic ``repro.tla.checker`` grew
+out of.  One exploration strategy per module, all registered by name:
+
+* :mod:`repro.engine.fingerprint` -- ``"fingerprint"``: serial BFS over
+  interned 64-bit fingerprints (the default when no state graph is needed),
+* :mod:`repro.engine.serial` -- ``"states"``: BFS retaining every distinct
+  ``State`` (required for temporal properties, DOT export and MBTCG),
+* :mod:`repro.engine.parallel` -- ``"parallel"``: level-synchronous BFS with
+  each frontier sharded across a process pool, bit-identical to
+  ``fingerprint``,
+* :mod:`repro.engine.simulate` -- ``"simulate"``: seeded random-walk
+  simulation with walk/depth budgets, for state spaces too large to exhaust.
+
+Visited-state storage is a second, independent seam
+(:mod:`repro.engine.store`): engines accept any registered store they
+declare compatible, so memory behaviour (exact set, state-retaining,
+bounded LRU) is chosen per run without touching engine code.
+
+:class:`~repro.engine.core.ModelChecker` coordinates: it resolves
+``engine="auto"``/``store="auto"`` eagerly, validates the combination,
+builds the shared :class:`~repro.engine.base.CheckContext` and runs the
+selected engine.  ``repro.tla.checker`` remains as a thin façade over this
+package, so historical imports keep working unchanged.
+
+Adding an engine or store is one file: subclass
+:class:`~repro.engine.base.Engine` (or register a store factory) and
+register it -- the coordinator, CLI, bench harness and registry pick it up
+by name.
+"""
+
+from .base import (
+    CheckContext,
+    CheckResult,
+    Engine,
+    engine_names,
+    expand_state,
+    get_engine,
+    register_engine,
+)
+from .store import (
+    BoundedLRUStore,
+    FingerprintSetStore,
+    StateRetainingStore,
+    StateStore,
+    make_store,
+    register_store,
+    store_names,
+)
+
+# Importing the engine modules registers them; the order fixes the public
+# ENGINES tuple (and keeps its historical prefix).
+from .fingerprint import FingerprintEngine
+from .serial import SerialStatesEngine
+from .parallel import ParallelEngine, default_worker_count
+from .simulate import SimulationEngine
+from .core import ModelChecker, check_spec
+
+__all__ = [
+    "BoundedLRUStore",
+    "CheckContext",
+    "CheckResult",
+    "ENGINES",
+    "Engine",
+    "FingerprintEngine",
+    "FingerprintSetStore",
+    "ModelChecker",
+    "ParallelEngine",
+    "STORES",
+    "SerialStatesEngine",
+    "SimulationEngine",
+    "StateRetainingStore",
+    "StateStore",
+    "check_spec",
+    "default_worker_count",
+    "engine_names",
+    "expand_state",
+    "get_engine",
+    "make_store",
+    "register_engine",
+    "register_store",
+    "store_names",
+]
+
+#: Engine names accepted by ``ModelChecker(engine=...)`` and the CLI.
+ENGINES = ("auto",) + engine_names()
+
+#: Store names accepted by ``ModelChecker(store=...)`` and the CLI.
+STORES = ("auto",) + store_names()

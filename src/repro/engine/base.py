@@ -1,0 +1,337 @@
+"""Engine seam: the protocol, shared check context, result type and registry.
+
+An *engine* is one exploration strategy over a specification's state space
+(exhaustive BFS, sharded BFS, random simulation, ...).  Every engine receives
+a :class:`CheckContext` -- the spec, the run limits, the visited-state store
+and the shared bookkeeping helpers -- and fills in the context's
+:class:`CheckResult`.  The context owns everything the original monolithic
+checker duplicated across engines: initial-frontier seeding, successor
+expansion with memoized invariant/constraint verdicts, and counterexample
+replay from the fingerprint-keyed parent map.
+
+Engines are classes registered by name (:func:`register_engine`); adding an
+exploration strategy is one module that defines an ``Engine`` subclass and
+registers it -- the coordinator (:class:`repro.engine.core.ModelChecker`),
+the CLI and the bench harness pick it up from the registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import islice
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+from ..tla.errors import CheckerError, DeadlockError, InvariantViolation
+from ..tla.graph import PropertyCheckOutcome, StateGraph
+from ..tla.spec import Specification
+from ..tla.state import State
+from ..tla.values import FingerprintCache
+
+__all__ = [
+    "CheckContext",
+    "CheckResult",
+    "Engine",
+    "SuccessorInfo",
+    "engine_names",
+    "expand_state",
+    "get_engine",
+    "memoized_verdict",
+    "register_engine",
+]
+
+#: One entry of an expansion result: ``(action name, successor value tuple,
+#: successor fingerprint, violated invariant name or None, constraint
+#: verdict)``.  Value tuples rather than ``State`` objects so the same shape
+#: crosses process boundaries with minimal pickling.
+SuccessorInfo = Tuple[str, Tuple[Any, ...], int, Optional[str], bool]
+
+#: Cap on an expander's invariant/constraint verdict memo (see
+#: :func:`expand_state`); bounds per-process memory on paper-scale runs.
+VERDICT_MEMO_MAX = 500_000
+
+
+def memoized_verdict(
+    spec: Specification,
+    state: State,
+    fp: int,
+    verdicts: Dict[int, Tuple[Optional[str], bool]],
+) -> Tuple[Optional[str], bool]:
+    """``(violated invariant name, constraint verdict)``, memoized per fingerprint.
+
+    Both BFS expansion (:func:`expand_state`) and the simulation engine's
+    walks evaluate invariants once per *generated* state without this memo
+    instead of once per *distinct* state -- a 3-15x multiplier on the
+    benchmarked specs.  Verdicts are deterministic per state, so memoization
+    cannot change results; the memo is capped (oldest half discarded, like
+    ``FingerprintCache``) so it never grows into a second per-process copy
+    of a paper-scale visited set.
+    """
+    cached = verdicts.get(fp)
+    if cached is None:
+        violated = spec.violated_invariant(state)
+        cached = (
+            None if violated is None else violated.name,
+            spec.within_constraint(state),
+        )
+        if len(verdicts) >= VERDICT_MEMO_MAX:
+            for key in list(islice(verdicts, len(verdicts) // 2)):
+                del verdicts[key]
+        verdicts[fp] = cached
+    return cached
+
+
+def expand_state(
+    spec: Specification,
+    cache: FingerprintCache,
+    state: State,
+    verdicts: Dict[int, Tuple[Optional[str], bool]],
+) -> List[SuccessorInfo]:
+    """Expand one state into successor-info tuples.
+
+    This is the single source of truth for what an expansion produces: the
+    fingerprint engine, the parallel engine's pool workers and its inline
+    path (narrow BFS levels) all go through it, so the bit-identical
+    statistics guarantee between them cannot be broken by the paths drifting
+    apart.  ``verdicts`` is this expander's :func:`memoized_verdict` memo.
+    """
+    entries: List[SuccessorInfo] = []
+    for action_name, nxt in spec.successors(state):
+        nfp = nxt.fingerprint(cache)
+        cached = memoized_verdict(spec, nxt, nfp, verdicts)
+        entries.append((action_name, nxt.values, nfp, cached[0], cached[1]))
+    return entries
+
+
+@dataclass
+class CheckResult:
+    """Outcome and statistics of one model-checking run."""
+
+    spec_name: str
+    distinct_states: int = 0
+    generated_states: int = 0
+    max_depth: int = 0
+    duration_seconds: float = 0.0
+    action_counts: Dict[str, int] = field(default_factory=dict)
+    invariant_violation: Optional[InvariantViolation] = None
+    deadlock: Optional[DeadlockError] = None
+    property_outcomes: List[PropertyCheckOutcome] = field(default_factory=list)
+    graph: Optional[StateGraph] = None
+    truncated: bool = False
+    #: The *resolved* engine name: ``engine="auto"`` never appears here.
+    engine: str = "states"
+    #: The resolved visited-store name (``store="auto"`` never appears here).
+    store: str = "states"
+    peak_frontier: int = 0
+    workers: int = 1
+    #: Random walks completed (``simulate`` engine only; 0 otherwise).
+    walks: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no invariant, deadlock or property violation was found."""
+        if self.invariant_violation is not None or self.deadlock is not None:
+            return False
+        return all(outcome.holds for outcome in self.property_outcomes)
+
+    def summary(self) -> str:
+        """One-line human-readable summary, similar to TLC's final output.
+
+        The resolved engine and store are always reported, so a run started
+        with ``engine="auto"`` shows what it actually resolved to.
+        """
+        status = "OK" if self.ok else "VIOLATION"
+        resolved = f"engine={self.engine}"
+        if self.engine == "parallel":
+            resolved += f"({self.workers} workers)"
+        if self.engine == "simulate":
+            resolved += f"({self.walks} walks)"
+        resolved += f" store={self.store}"
+        return (
+            f"{self.spec_name}: {status}; {self.distinct_states} distinct states, "
+            f"{self.generated_states} states generated, depth {self.max_depth}, "
+            f"{self.duration_seconds:.2f}s [{resolved}]"
+        )
+
+
+@dataclass
+class CheckContext:
+    """Everything one engine run needs: spec, limits, store and bookkeeping.
+
+    The context is built per run by :class:`repro.engine.core.ModelChecker`
+    and handed to the selected engine's :meth:`Engine.run`.  The shared
+    helpers (:meth:`seed_frontier`, :meth:`fp_violation`, :meth:`replay`)
+    are what the three BFS engines used to duplicate as private methods of
+    the monolithic checker.
+    """
+
+    spec: Specification
+    result: CheckResult
+    store: Any  # a StateStore (see repro.engine.store)
+    collect_graph: bool = False
+    check_deadlock: bool = False
+    max_states: Optional[int] = None
+    max_depth: Optional[int] = None
+    stop_on_violation: bool = True
+    workers: Optional[int] = None
+    #: Simulation budgets (``simulate`` engine only).
+    walks: int = 100
+    walk_depth: int = 50
+    seed: int = 0
+    cache: FingerprintCache = field(default_factory=FingerprintCache)
+    #: Fingerprint-keyed parent map: ``fp -> (parent fp or None, action)``.
+    parents: Dict[int, Tuple[Optional[int], Optional[str]]] = field(
+        default_factory=dict
+    )
+
+    # Shared fingerprint-BFS helpers -----------------------------------------
+    def fp_violation(self, fp: int, inv_name: str) -> InvariantViolation:
+        """Build an :class:`InvariantViolation` with a replayed trace."""
+        return InvariantViolation(
+            f"invariant {inv_name!r} violated by specification {self.spec.name!r}",
+            property_name=inv_name,
+            trace=self.replay(fp),
+        )
+
+    def deadlock_at(self, fp: int) -> DeadlockError:
+        """Build a :class:`DeadlockError` with a replayed trace."""
+        return DeadlockError(
+            f"deadlock reached in specification {self.spec.name!r}",
+            trace=self.replay(fp),
+        )
+
+    def seed_frontier(self) -> Tuple[List[Tuple[State, int]], bool]:
+        """Enumerate initial states into the depth-0 frontier.
+
+        Shared by the fingerprint and parallel engines (both are serial
+        here: initial sets are tiny, and forking for them would be pure
+        cost), so the two cannot drift apart in how exploration starts --
+        part of the bit-identical-statistics contract between them.
+        """
+        spec, result = self.spec, self.result
+        frontier: List[Tuple[State, int]] = []
+        stop = False
+        for state in spec.initial_states():
+            result.generated_states += 1
+            fp = state.fingerprint(self.cache)
+            if not self.store.add(fp):
+                continue
+            self.parents[fp] = (None, None)
+            violated = spec.violated_invariant(state)
+            if violated is not None:
+                result.invariant_violation = self.fp_violation(fp, violated.name)
+                if self.stop_on_violation:
+                    stop = True
+                    break
+            if spec.within_constraint(state):
+                frontier.append((state, fp))
+        result.peak_frontier = len(frontier)
+        return frontier, stop
+
+    def replay(self, target_fp: int) -> List[State]:
+        """Rebuild the behaviour leading to ``target_fp`` by forward replay.
+
+        The fingerprint-interned engines do not retain visited states, so
+        the counterexample is reconstructed the way TLC does it: walk the
+        parent fingerprints back to an initial state, then re-execute the
+        recorded action names forward, selecting at each step the successor
+        whose fingerprint matches the recorded one.
+        """
+        chain: List[Tuple[int, Optional[str]]] = []
+        cursor: Optional[int] = target_fp
+        while cursor is not None:
+            parent, action_name = self.parents[cursor]
+            chain.append((cursor, action_name))
+            cursor = parent
+        chain.reverse()
+
+        first_fp = chain[0][0]
+        state: Optional[State] = None
+        for candidate in self.spec.initial_states():
+            if candidate.fingerprint() == first_fp:
+                state = candidate
+                break
+        if state is None:  # pragma: no cover - only reachable via fp collision
+            raise CheckerError(
+                f"counterexample replay failed: no initial state of "
+                f"{self.spec.name!r} has fingerprint {first_fp}"
+            )
+        trace = [state]
+        for next_fp, action_name in chain[1:]:
+            assert action_name is not None
+            action = self.spec.action_named(action_name)
+            for successor in action.successors(state):
+                if successor.fingerprint() == next_fp:
+                    state = successor
+                    break
+            else:  # pragma: no cover - only reachable via fp collision
+                raise CheckerError(
+                    f"counterexample replay failed at action {action_name!r}: "
+                    f"no successor has fingerprint {next_fp}"
+                )
+            trace.append(state)
+        return trace
+
+
+class Engine:
+    """Base class every exploration engine derives from.
+
+    Subclasses set the class attributes and implement :meth:`run`.  They are
+    instantiated fresh per run (engines may keep per-run state on ``self``).
+    """
+
+    #: Registry name; also what ``CheckResult.engine`` reports.
+    name: str = ""
+    #: True when the engine can retain the state graph (temporal properties,
+    #: DOT export, MBTCG enumeration all need it).
+    supports_graph: bool = False
+    #: True when the engine dispatches work to pool processes that rebuild
+    #: the spec by registry name (requires ``spec.registry_ref``).
+    needs_registry: bool = False
+    #: Store names the engine accepts; the first entry is the default that
+    #: ``store="auto"`` resolves to.
+    supported_stores: Tuple[str, ...] = ("fingerprint",)
+    #: True when the engine's exploration is inherently bounded (e.g. by
+    #: walk budgets).  Unbounded engines using a forgetful store (``lru``)
+    #: can re-expand evicted states forever, so the coordinator requires an
+    #: explicit ``max_states``/``max_depth`` from them.
+    bounded_exploration: bool = False
+
+    @classmethod
+    def requires_registry(cls, workers: Optional[int]) -> bool:
+        """Whether a run with ``workers`` needs ``spec.registry_ref``.
+
+        The coordinator asks the engine rather than pattern-matching on
+        names, so an engine that only pools conditionally (e.g. simulation
+        pools only for ``workers > 1``) can say so itself.
+        """
+        return cls.needs_registry
+
+    def run(self, ctx: CheckContext) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+_ENGINES: Dict[str, Type[Engine]] = {}
+
+
+def register_engine(engine_cls: Type[Engine]) -> Type[Engine]:
+    """Register an engine class under its ``name``; usable as a decorator."""
+    if not engine_cls.name:
+        raise ValueError(f"engine class {engine_cls.__name__} declares no name")
+    _ENGINES[engine_cls.name] = engine_cls
+    return engine_cls
+
+
+def engine_names() -> Tuple[str, ...]:
+    """Registered engine names, in registration order."""
+    return tuple(_ENGINES)
+
+
+def get_engine(name: str) -> Type[Engine]:
+    """Look up an engine class by name."""
+    try:
+        return _ENGINES[name]
+    except KeyError:
+        known = ", ".join(engine_names())
+        raise ValueError(
+            f"unknown engine {name!r}; expected one of: auto, {known}"
+        ) from None

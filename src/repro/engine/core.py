@@ -1,0 +1,234 @@
+"""The coordinator: resolve engine + store, build the context, run, report.
+
+:class:`ModelChecker` is the public face of the engine package (and, through
+the :mod:`repro.tla.checker` façade, of the whole checking layer).  It no
+longer contains any exploration logic: it validates the requested
+configuration, resolves ``engine="auto"`` / ``store="auto"`` to concrete
+registered names *eagerly* (``checker.resolved_engine`` and
+``checker.resolved_store`` are set before ``run()`` -- nothing resolves
+silently mid-run), builds the :class:`~repro.engine.base.CheckContext`, and
+hands it to the selected :class:`~repro.engine.base.Engine`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..tla.errors import (
+    CheckerError,
+    LivenessViolation,
+    StateSpaceLimitExceeded,
+)
+from ..tla.spec import Specification
+from .base import CheckContext, CheckResult, engine_names, get_engine
+from .store import make_store, store_names
+
+__all__ = ["ModelChecker", "check_spec"]
+
+
+class ModelChecker:
+    """Explicit-state model checker dispatching to a pluggable engine."""
+
+    def __init__(
+        self,
+        spec: Specification,
+        *,
+        collect_graph: bool = False,
+        check_deadlock: bool = False,
+        check_properties: bool = True,
+        max_states: Optional[int] = None,
+        max_depth: Optional[int] = None,
+        stop_on_violation: bool = True,
+        engine: str = "auto",
+        workers: Optional[int] = None,
+        store: str = "auto",
+        store_capacity: Optional[int] = None,
+        walks: int = 100,
+        walk_depth: int = 50,
+        seed: int = 0,
+    ) -> None:
+        known_engines = ("auto",) + engine_names()
+        if engine not in known_engines:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {known_engines}"
+            )
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        if walks < 1:
+            raise ValueError("walks must be >= 1")
+        if walk_depth < 1:
+            raise ValueError("walk_depth must be >= 1")
+        self.spec = spec
+        self.check_properties = check_properties
+        # Temporal properties are checked on the state graph, so requesting
+        # them implies collecting it.  Large runs (the paper-scale RaftMongo
+        # configuration) can disable property checking to save memory.
+        self.collect_graph = collect_graph or (check_properties and bool(spec.properties))
+        self.check_deadlock = check_deadlock
+        self.max_states = max_states
+        self.max_depth = max_depth
+        self.stop_on_violation = stop_on_violation
+        self.engine = engine
+        self.workers = workers
+        self.walks = walks
+        self.walk_depth = walk_depth
+        self.seed = seed
+        self.store_capacity = store_capacity
+
+        # Resolve ``auto`` eagerly: the resolved names are attributes (and
+        # later CheckResult fields), never a silent mid-run decision.
+        if engine == "auto":
+            self.resolved_engine = "states" if self.collect_graph else "fingerprint"
+        else:
+            self.resolved_engine = engine
+        engine_cls = get_engine(self.resolved_engine)
+
+        if engine_cls.bounded_exploration and (
+            max_states is not None or max_depth is not None
+        ):
+            raise ValueError(
+                f"the {self.resolved_engine} engine is bounded by its own "
+                "budgets (walks/walk_depth) and does not consume "
+                "max_states/max_depth; passing them would be silently ignored"
+            )
+        if self.collect_graph and not engine_cls.supports_graph:
+            raise ValueError(
+                f"the {self.resolved_engine} engine cannot collect a state graph; "
+                "use engine='states' (or 'auto') when collect_graph or "
+                "temporal-property checking is requested"
+            )
+        if engine_cls.requires_registry(workers) and spec.registry_ref is None:
+            raise CheckerError(
+                f"engine={self.resolved_engine!r} with worker processes requires "
+                f"a registered specification, but {spec.name!r} has no "
+                "registry_ref; build it via repro.tla.registry.build_spec (or "
+                "register its factory with register_spec) so worker processes "
+                "can rebuild it by name"
+            )
+
+        known_stores = ("auto",) + store_names()
+        if store not in known_stores:
+            raise ValueError(
+                f"unknown store {store!r}; expected one of {known_stores}"
+            )
+        if store == "auto":
+            self.resolved_store = engine_cls.supported_stores[0]
+        elif store in engine_cls.supported_stores:
+            self.resolved_store = store
+        else:
+            raise ValueError(
+                f"the {self.resolved_engine} engine supports stores "
+                f"{engine_cls.supported_stores}; got {store!r}"
+            )
+        if store_capacity is not None and self.resolved_store != "lru":
+            raise ValueError(
+                "store_capacity only applies to the bounded 'lru' store"
+            )
+        if (
+            self.resolved_store == "lru"
+            and not engine_cls.bounded_exploration
+            and max_states is None
+            and max_depth is None
+        ):
+            raise ValueError(
+                "the lru store forgets evicted states, so an unbounded BFS "
+                "may re-expand them forever; set max_states or max_depth "
+                "(the simulate engine is bounded by its walk budgets instead)"
+            )
+
+    # ------------------------------------------------------------------------
+    def run(self) -> CheckResult:
+        """Explore the state space and return a :class:`CheckResult`."""
+        result = CheckResult(
+            spec_name=self.spec.name,
+            engine=self.resolved_engine,
+            store=self.resolved_store,
+        )
+        ctx = CheckContext(
+            spec=self.spec,
+            result=result,
+            store=make_store(self.resolved_store, capacity=self.store_capacity),
+            collect_graph=self.collect_graph,
+            check_deadlock=self.check_deadlock,
+            max_states=self.max_states,
+            max_depth=self.max_depth,
+            stop_on_violation=self.stop_on_violation,
+            workers=self.workers,
+            walks=self.walks,
+            walk_depth=self.walk_depth,
+            seed=self.seed,
+        )
+        started = time.perf_counter()
+        get_engine(self.resolved_engine)().run(ctx)
+        result.duration_seconds = time.perf_counter() - started
+
+        # Temporal properties ------------------------------------------------
+        if (
+            result.graph is not None
+            and self.check_properties
+            and self.spec.properties
+            and result.invariant_violation is None
+            and not result.truncated
+        ):
+            for prop in self.spec.properties:
+                result.property_outcomes.append(result.graph.check_property(prop))
+        return result
+
+
+def check_spec(
+    spec: Specification,
+    *,
+    collect_graph: bool = False,
+    check_deadlock: bool = False,
+    check_properties: bool = True,
+    max_states: Optional[int] = None,
+    max_depth: Optional[int] = None,
+    raise_on_violation: bool = False,
+    engine: str = "auto",
+    workers: Optional[int] = None,
+    store: str = "auto",
+    store_capacity: Optional[int] = None,
+    walks: int = 100,
+    walk_depth: int = 50,
+    seed: int = 0,
+) -> CheckResult:
+    """Convenience wrapper: build a checker, run it, optionally raise.
+
+    With ``raise_on_violation=True`` the helper raises the recorded
+    :class:`InvariantViolation`, :class:`DeadlockError` or
+    :class:`LivenessViolation`, mimicking how TLC aborts with an error trace.
+    """
+    checker = ModelChecker(
+        spec,
+        collect_graph=collect_graph,
+        check_deadlock=check_deadlock,
+        check_properties=check_properties,
+        max_states=max_states,
+        max_depth=max_depth,
+        engine=engine,
+        workers=workers,
+        store=store,
+        store_capacity=store_capacity,
+        walks=walks,
+        walk_depth=walk_depth,
+        seed=seed,
+    )
+    result = checker.run()
+    if raise_on_violation:
+        if result.invariant_violation is not None:
+            raise result.invariant_violation
+        if result.deadlock is not None:
+            raise result.deadlock
+        for outcome in result.property_outcomes:
+            if not outcome.holds:
+                raise LivenessViolation(
+                    f"temporal property {outcome.property_name!r} violated: "
+                    f"{outcome.explanation}",
+                    property_name=outcome.property_name,
+                )
+        if result.truncated and max_states is not None:
+            raise StateSpaceLimitExceeded(
+                f"exploration of {spec.name!r} was truncated at {result.distinct_states} states"
+            )
+    return result

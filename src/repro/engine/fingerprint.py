@@ -1,0 +1,90 @@
+"""The serial fingerprint-interned BFS engine (the default).
+
+The visited set holds only stable 64-bit state fingerprints (as TLC's own
+fingerprint set does), plus a fingerprint-keyed parent map used to rebuild
+counterexample behaviours by forward replay.  Full ``State`` objects live
+only on the current and next BFS frontier, so peak memory is bounded by the
+widest level rather than the whole reachable space.
+
+The visited set itself is pluggable: the default ``fingerprint`` store is an
+exact in-memory set, while the bounded ``lru`` store caps memory at a fixed
+capacity (accepting possible re-expansion of evicted states -- see
+:mod:`repro.engine.store`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..tla.state import State
+from .base import CheckContext, Engine, register_engine
+
+__all__ = ["FingerprintEngine"]
+
+
+@register_engine
+class FingerprintEngine(Engine):
+    """Level-batched BFS over interned 64-bit state fingerprints."""
+
+    name = "fingerprint"
+    supports_graph = False
+    needs_registry = False
+    supported_stores = ("fingerprint", "lru")
+
+    def run(self, ctx: CheckContext) -> None:
+        spec, result, store = ctx.spec, ctx.result, ctx.store
+        action_counts: Dict[str, int] = {act.name: 0 for act in spec.actions}
+        frontier, stop = ctx.seed_frontier()
+
+        # Breadth-first exploration, one depth level per batch --------------
+        depth = 0
+        while frontier and not stop:
+            if ctx.max_depth is not None and depth >= ctx.max_depth:
+                result.truncated = True
+                break
+            next_frontier: List[Tuple[State, int]] = []
+            for state, fp in frontier:
+                if ctx.max_states is not None and store.distinct_count >= ctx.max_states:
+                    result.truncated = True
+                    stop = True
+                    break
+                successors = spec.successors(state)
+                if not successors and ctx.check_deadlock:
+                    result.deadlock = ctx.deadlock_at(fp)
+                    if ctx.stop_on_violation:
+                        stop = True
+                        break
+                for action_name, nxt in successors:
+                    result.generated_states += 1
+                    action_counts[action_name] += 1
+                    nfp = nxt.fingerprint(ctx.cache)
+                    if not store.add(nfp):
+                        continue
+                    # setdefault, not assignment: a bounded store can hand an
+                    # *evicted* fingerprint back as "new" while a descendant
+                    # chain already runs through it; overwriting its parent
+                    # would put a cycle in the replay chain.  The
+                    # first-discovery entry is always acyclic (parents are
+                    # recorded before their children and never pruned), and
+                    # with an exact store add() returns True exactly once, so
+                    # this is the plain assignment it always was.
+                    ctx.parents.setdefault(nfp, (fp, action_name))
+                    result.max_depth = max(result.max_depth, depth + 1)
+                    violated = spec.violated_invariant(nxt)
+                    if violated is not None:
+                        result.invariant_violation = ctx.fp_violation(
+                            nfp, violated.name
+                        )
+                        if ctx.stop_on_violation:
+                            stop = True
+                            break
+                    if spec.within_constraint(nxt):
+                        next_frontier.append((nxt, nfp))
+                if stop:
+                    break
+            frontier = next_frontier
+            result.peak_frontier = max(result.peak_frontier, len(frontier))
+            depth += 1
+
+        result.distinct_states = store.distinct_count
+        result.action_counts = action_counts

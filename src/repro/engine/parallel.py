@@ -1,0 +1,207 @@
+"""The multi-core BFS engine: each depth level sharded across processes.
+
+The same level-synchronous BFS as :mod:`repro.engine.fingerprint`, but each
+depth's frontier is split into contiguous shards, one per worker; workers
+expand states, fingerprint successors and evaluate invariants and the state
+constraint with their own per-process
+:class:`~repro.tla.values.FingerprintCache`, and the coordinator merges the
+per-shard results -- *in frontier order*, so every statistic, the visited
+set, and any counterexample it finds coincide exactly with the serial
+``fingerprint`` engine's.  Because a spec is a bundle of closures, workers
+rebuild it from its :attr:`~repro.tla.spec.Specification.registry_ref` (see
+:mod:`repro.tla.registry`), the way every TLC worker re-parses the ``.tla``
+module.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..tla.spec import Specification
+from ..tla.state import State
+from ..tla.values import FingerprintCache
+from .base import CheckContext, Engine, SuccessorInfo, expand_state, register_engine
+
+__all__ = ["ParallelEngine", "default_worker_count"]
+
+
+def default_worker_count() -> int:
+    """Worker count used when ``workers`` is not given: one per CPU core."""
+    return os.cpu_count() or 1
+
+
+#: Below ``workers * _INLINE_FRONTIER`` states, a BFS level is expanded in the
+#: coordinator: pickling a handful of states to the pool costs more than
+#: expanding them.  The shallow first levels of every run stay inline, so the
+#: pool is only ever started for state spaces wide enough to amortize it.
+_INLINE_FRONTIER = 8
+
+
+# ---------------------------------------------------------------------------
+# Worker side.  Each pool process builds its own copy of the spec (by
+# registry name) once, in the initializer, and keeps a private
+# FingerprintCache for the whole run.
+# ---------------------------------------------------------------------------
+
+_WORKER_SPEC: Optional[Specification] = None
+_WORKER_CACHE: Optional[FingerprintCache] = None
+_WORKER_VERDICTS: Dict[int, Tuple[Optional[str], bool]] = {}
+
+
+def _parallel_worker_init(
+    registry_name: str, params: Dict[str, Any], provider_modules: List[str]
+) -> None:
+    global _WORKER_SPEC, _WORKER_CACHE, _WORKER_VERDICTS
+    from ..tla import registry
+
+    # Under the 'spawn' start method a worker starts with a fresh registry;
+    # adopting the coordinator's provider list lets it rebuild specs whose
+    # factories live outside the default providers.  (Under 'fork' the
+    # registrations are inherited and this is a no-op.)
+    registry.adopt_providers(provider_modules)
+    _WORKER_SPEC = registry.build_spec(registry_name, **params)
+    _WORKER_CACHE = FingerprintCache()
+    _WORKER_VERDICTS = {}
+
+
+def _parallel_expand_shard(
+    shard: List[Tuple[Tuple[Any, ...], int]],
+) -> List[Tuple[int, List[SuccessorInfo]]]:
+    """Expand one frontier shard: successors + fingerprints + invariant verdicts.
+
+    Input and output are value tuples rather than ``State`` objects to keep
+    the pickled payloads minimal; the coordinator rebuilds ``State`` only for
+    successors that actually enter the next frontier.
+    """
+    spec, cache = _WORKER_SPEC, _WORKER_CACHE
+    assert spec is not None and cache is not None
+    schema = spec.schema
+    return [
+        (
+            fp,
+            expand_state(
+                spec, cache, State.from_values(schema, values), _WORKER_VERDICTS
+            ),
+        )
+        for values, fp in shard
+    ]
+
+
+@register_engine
+class ParallelEngine(Engine):
+    """Level-synchronous BFS with the frontier sharded across processes."""
+
+    name = "parallel"
+    supports_graph = False
+    needs_registry = True
+    supported_stores = ("fingerprint", "lru")
+
+    def run(self, ctx: CheckContext) -> None:
+        spec, result, store = ctx.spec, ctx.result, ctx.store
+        assert spec.registry_ref is not None  # enforced by the coordinator
+        registry_name, params = spec.registry_ref
+        workers = ctx.workers or default_worker_count()
+        result.workers = workers
+        action_counts: Dict[str, int] = {act.name: 0 for act in spec.actions}
+        frontier, stop = ctx.seed_frontier()
+        inline_verdicts: Dict[int, Tuple[Optional[str], bool]] = {}
+
+        depth = 0
+        pool: Optional[ProcessPoolExecutor] = None
+        try:
+            while frontier and not stop:
+                if ctx.max_depth is not None and depth >= ctx.max_depth:
+                    result.truncated = True
+                    break
+                if pool is None and len(frontier) >= workers * _INLINE_FRONTIER:
+                    from ..tla.registry import PROVIDER_MODULES
+
+                    pool = ProcessPoolExecutor(
+                        max_workers=workers,
+                        initializer=_parallel_worker_init,
+                        initargs=(registry_name, params, list(PROVIDER_MODULES)),
+                    )
+                next_frontier: List[Tuple[State, int]] = []
+                for fp, entries in self._expand_level(
+                    ctx, pool, workers, frontier, inline_verdicts
+                ):
+                    if (
+                        ctx.max_states is not None
+                        and store.distinct_count >= ctx.max_states
+                    ):
+                        result.truncated = True
+                        stop = True
+                        break
+                    if not entries and ctx.check_deadlock:
+                        result.deadlock = ctx.deadlock_at(fp)
+                        if ctx.stop_on_violation:
+                            stop = True
+                            break
+                    for action_name, nvalues, nfp, violated_name, within in entries:
+                        result.generated_states += 1
+                        action_counts[action_name] += 1
+                        if not store.add(nfp):
+                            continue
+                        # setdefault for the same reason as the fingerprint
+                        # engine: a bounded store can re-report an evicted
+                        # fingerprint as new, and overwriting its parent
+                        # entry would make the replay chain cyclic.
+                        ctx.parents.setdefault(nfp, (fp, action_name))
+                        result.max_depth = max(result.max_depth, depth + 1)
+                        if violated_name is not None:
+                            result.invariant_violation = ctx.fp_violation(
+                                nfp, violated_name
+                            )
+                            if ctx.stop_on_violation:
+                                stop = True
+                                break
+                        if within:
+                            next_frontier.append(
+                                (State.from_values(spec.schema, nvalues), nfp)
+                            )
+                    if stop:
+                        break
+                frontier = next_frontier
+                result.peak_frontier = max(result.peak_frontier, len(frontier))
+                depth += 1
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True, cancel_futures=True)
+
+        result.distinct_states = store.distinct_count
+        result.action_counts = action_counts
+
+    def _expand_level(
+        self,
+        ctx: CheckContext,
+        pool: Optional[ProcessPoolExecutor],
+        workers: int,
+        frontier: List[Tuple[State, int]],
+        verdicts: Dict[int, Tuple[Optional[str], bool]],
+    ) -> Iterable[Tuple[int, List[SuccessorInfo]]]:
+        """Expand one BFS level, in frontier order.
+
+        Narrow levels (and everything before the pool is first needed) are
+        expanded inline -- shipping a handful of states through pickle costs
+        more than computing their successors -- with results in the same
+        shape the workers produce, so the merge loop cannot tell the
+        difference.
+        """
+        spec = ctx.spec
+        if pool is None or len(frontier) < workers * _INLINE_FRONTIER:
+            for state, fp in frontier:
+                yield fp, expand_state(spec, ctx.cache, state, verdicts)
+            return
+
+        shard_size = -(-len(frontier) // workers)  # ceil division
+        futures = []
+        for start in range(0, len(frontier), shard_size):
+            shard = [
+                (state.values, fp)
+                for state, fp in frontier[start : start + shard_size]
+            ]
+            futures.append(pool.submit(_parallel_expand_shard, shard))
+        for future in futures:
+            yield from future.result()

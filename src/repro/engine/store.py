@@ -1,0 +1,228 @@
+"""Pluggable visited-state stores for the exploration engines.
+
+TLC scales past toy models because its fingerprint set is swappable (an
+in-memory set, a disk-backed set, ...).  This module is that seam for the
+reproduction: an exploration engine asks its store "have I seen this state?"
+and never cares how the answer is represented.  Three stores ship:
+
+* ``"fingerprint"`` -- :class:`FingerprintSetStore`: an in-memory set of
+  stable 64-bit state fingerprints, the default for the fingerprint-interned
+  engines.  Exact, unbounded.
+* ``"states"`` -- :class:`StateRetainingStore`: every distinct ``State``
+  object is retained and assigned a dense integer id.  Required by the
+  serial ``states`` engine, whose retained graph nodes must resolve back to
+  states.
+* ``"lru"`` -- :class:`BoundedLRUStore`: a fingerprint set bounded to a
+  fixed capacity with least-recently-seen eviction, for explorations whose
+  visited set would not fit in memory.  An evicted state is no longer
+  recognised, so BFS engines may re-expand it; exploration must therefore be
+  bounded some other way (``max_states``/``max_depth``, or the walk budgets
+  of the ``simulate`` engine) and ``distinct_states`` becomes an upper
+  bound rather than an exact count.
+
+Stores are registered by name (:func:`register_store`) so a new backend --
+a disk-backed set, a Bloom filter -- is a one-file addition; engines declare
+which stores they accept (:attr:`repro.engine.base.Engine.supported_stores`)
+and :func:`repro.engine.core.ModelChecker` resolves ``store="auto"`` to the
+engine's default.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
+
+from ..tla.state import State
+
+__all__ = [
+    "BoundedLRUStore",
+    "DEFAULT_LRU_CAPACITY",
+    "FingerprintSetStore",
+    "StateRetainingStore",
+    "StateStore",
+    "make_store",
+    "register_store",
+    "store_names",
+]
+
+#: Default capacity of the bounded LRU store when none is given.
+DEFAULT_LRU_CAPACITY = 100_000
+
+
+class StateStore(Protocol):
+    """What every visited-state store exposes to the engines.
+
+    ``add`` returns True when the fingerprint was not present (the state is
+    new and should be explored); ``distinct_count`` is the number of distinct
+    states the store believes it has seen -- exact for unbounded stores, an
+    upper bound for bounded ones (re-added evictees count again).
+    """
+
+    name: str
+    retains_states: bool
+    exact: bool
+
+    def add(self, fp: int) -> bool: ...
+
+    def __contains__(self, fp: int) -> bool: ...
+
+    def __len__(self) -> int: ...
+
+    @property
+    def distinct_count(self) -> int: ...
+
+
+class FingerprintSetStore:
+    """Unbounded in-memory set of 64-bit state fingerprints (the default)."""
+
+    name = "fingerprint"
+    retains_states = False
+    exact = True
+
+    def __init__(self) -> None:
+        self._seen: set = set()
+
+    def add(self, fp: int) -> bool:
+        if fp in self._seen:
+            return False
+        self._seen.add(fp)
+        return True
+
+    def __contains__(self, fp: int) -> bool:
+        return fp in self._seen
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    @property
+    def distinct_count(self) -> int:
+        return len(self._seen)
+
+
+class BoundedLRUStore:
+    """Fingerprint set bounded to ``capacity`` entries, LRU-evicted.
+
+    The *visited set* holds at most ``capacity`` fingerprints regardless of
+    state-space size.  The price is exactness: once a fingerprint is evicted
+    the store forgets it, so a revisit reports "new" again.
+    ``distinct_count`` therefore counts every add ever accepted -- an upper
+    bound on the true distinct-state count, exact as long as nothing was
+    evicted (``evictions == 0``).
+
+    Note that the BFS engines' counterexample parent map lives *outside* the
+    store and grows one entry per accepted add (it must reach back to an
+    initial state to replay a trace, so it cannot be evicted); to bound a
+    run's total memory, combine ``lru`` with ``max_states``/``max_depth`` --
+    which the coordinator requires for BFS engines anyway.
+    """
+
+    name = "lru"
+    retains_states = False
+    exact = False
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("store capacity must be >= 1")
+        self.capacity = capacity or DEFAULT_LRU_CAPACITY
+        self._seen: "OrderedDict[int, None]" = OrderedDict()
+        self._added = 0
+        self.evictions = 0
+
+    def add(self, fp: int) -> bool:
+        seen = self._seen
+        if fp in seen:
+            seen.move_to_end(fp)
+            return False
+        seen[fp] = None
+        self._added += 1
+        if len(seen) > self.capacity:
+            seen.popitem(last=False)
+            self.evictions += 1
+        return True
+
+    def __contains__(self, fp: int) -> bool:
+        return fp in self._seen
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    @property
+    def distinct_count(self) -> int:
+        return self._added
+
+
+class StateRetainingStore:
+    """Every distinct state retained, keyed by value and assigned a dense id.
+
+    The serial ``states`` engine needs states back (graph nodes, trace
+    reconstruction), so this store interns whole ``State`` objects rather
+    than fingerprints.  ``intern`` is its primary interface; the
+    fingerprint-flavoured ``add`` is not supported.
+    """
+
+    name = "states"
+    retains_states = True
+    exact = True
+
+    def __init__(self) -> None:
+        self._ids: Dict[State, int] = {}
+        self._by_id: List[State] = []
+
+    def intern(self, state: State) -> Tuple[int, bool]:
+        """Register a state; return ``(dense id, is_new)``."""
+        existing = self._ids.get(state)
+        if existing is not None:
+            return existing, False
+        new_id = len(self._by_id)
+        self._ids[state] = new_id
+        self._by_id.append(state)
+        return new_id, True
+
+    def id_of(self, state: State) -> int:
+        return self._ids[state]
+
+    def state_of(self, state_id: int) -> State:
+        return self._by_id[state_id]
+
+    def add(self, fp: int) -> bool:  # pragma: no cover - protocol completeness
+        raise TypeError(
+            "StateRetainingStore interns State objects; use intern(state)"
+        )
+
+    def __contains__(self, state: object) -> bool:
+        return state in self._ids
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    @property
+    def distinct_count(self) -> int:
+        return len(self._by_id)
+
+
+_STORES: Dict[str, Callable[[Optional[int]], object]] = {}
+
+
+def register_store(name: str, factory: Callable[[Optional[int]], object]) -> None:
+    """Register a store backend; ``factory(capacity)`` builds one instance."""
+    _STORES[name] = factory
+
+
+def store_names() -> Tuple[str, ...]:
+    """Registered store names, in registration order."""
+    return tuple(_STORES)
+
+
+def make_store(name: str, *, capacity: Optional[int] = None):
+    """Instantiate a registered store by name."""
+    try:
+        factory = _STORES[name]
+    except KeyError:
+        known = ", ".join(store_names())
+        raise ValueError(f"unknown store {name!r}; expected one of: {known}") from None
+    return factory(capacity)
+
+
+register_store("fingerprint", lambda capacity: FingerprintSetStore())
+register_store("states", lambda capacity: StateRetainingStore())
+register_store("lru", lambda capacity: BoundedLRUStore(capacity))

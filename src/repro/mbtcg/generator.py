@@ -10,7 +10,7 @@ accepts one the caller already has), applies a strategy from
 Parallel generation shards behaviour enumeration over graph partitions: the
 edges leaving the initial states are split round-robin across a process
 pool.  Each worker rebuilds the spec from its registry name (the same
-mechanism the parallel model-checking engine uses -- see
+mechanism :mod:`repro.engine.parallel` uses -- see
 :mod:`repro.tla.registry`), receives the coordinator's already-explored
 graph as plain value tuples and edge triples (so the state space is
 explored exactly once, not once per worker), and enumerates only behaviours
@@ -24,9 +24,9 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
-from ..tla.checker import check_spec
+from ..engine import check_spec
 from ..tla.errors import ReproError
 from ..tla.graph import StateGraph
 from ..tla.spec import Specification

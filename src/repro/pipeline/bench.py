@@ -7,14 +7,18 @@ stands after every PR: it times
 
 * model checking with the ``states``, ``fingerprint`` and ``parallel``
   engines (the latter across a list of worker counts),
+* random-walk simulation (the ``simulate`` engine) -- walks/sec, the
+  throughput of the sampling path used when a state space is too large to
+  exhaust,
 * batch trace checking with the ``thread`` and ``process`` executors, and
 * MBTCG test-case generation (every :mod:`repro.mbtcg` strategy) -- the
   tests/sec and dedup-ratio trajectory of the generation workload,
 
 on the registered specification families, and writes one JSON document
-(``BENCH_results.json``) with wall times, states/sec, traces/sec, tests/sec,
-peak frontier sizes and speedups relative to the serial ``fingerprint``
-baseline.
+(``BENCH_results.json``, schema v3: every model-checking and simulation row
+records the *resolved* engine and visited-state store) with wall times,
+states/sec, walks/sec, traces/sec, tests/sec, peak frontier sizes and
+speedups relative to the serial ``fingerprint`` baseline.
 CI runs ``python -m repro bench --smoke`` and uploads the JSON as an
 artifact, so the perf trajectory is recorded per commit.
 
@@ -31,17 +35,19 @@ import os
 import platform
 import sys
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..tla import check_spec
+from ..engine import check_spec
 from ..tla.registry import build_spec
 from .runner import check_traces
 from .workload import generate_workload
 
 __all__ = ["BenchConfig", "run_bench", "summarize", "write_results"]
 
-SCHEMA_VERSION = 2
+#: v3: model-checking rows carry the resolved ``store``; a ``simulation``
+#: stage (walks/sec for the ``simulate`` engine) joins the document.
+SCHEMA_VERSION = 3
 
 #: (registry name, params) pairs benchmarked by default.  The second locking
 #: configuration triples the thread count so the parallel engine has a state
@@ -82,6 +88,8 @@ class BenchConfig:
     fault_rate: float = 0.1
     generation: Sequence[Tuple[str, Dict[str, Any], int]] = DEFAULT_GENERATION
     generation_samples: int = 100
+    sim_walks: int = 200
+    sim_depth: int = 50
     smoke: bool = False
 
     @classmethod
@@ -92,6 +100,8 @@ class BenchConfig:
             n_traces=60,
             generation=SMOKE_GENERATION,
             generation_samples=40,
+            sim_walks=60,
+            sim_depth=25,
             smoke=True,
         )
 
@@ -115,13 +125,47 @@ def _time_check(
         "spec": name,
         "params": params,
         "label": _spec_label(name, params),
-        "engine": engine,
+        "engine": result.engine,
+        "store": result.store,
         "workers": result.workers if engine == "parallel" else 1,
         "wall_seconds": round(wall, 6),
         "distinct_states": result.distinct_states,
         "generated_states": result.generated_states,
         "max_depth": result.max_depth,
         "peak_frontier": result.peak_frontier,
+        "states_per_second": round(result.generated_states / wall, 1) if wall else None,
+        "ok": result.ok,
+    }
+
+
+def _time_simulation(
+    name: str, params: Dict[str, Any], walks: int, depth: int, seed: int
+) -> Dict[str, Any]:
+    """One random-walk simulation row: walks/sec for the ``simulate`` engine."""
+    spec = build_spec(name, **params)
+    result = check_spec(
+        spec,
+        check_properties=False,
+        engine="simulate",
+        walks=walks,
+        walk_depth=depth,
+        seed=seed,
+    )
+    wall = result.duration_seconds
+    return {
+        "spec": name,
+        "params": params,
+        "label": _spec_label(name, params),
+        "engine": result.engine,
+        "store": result.store,
+        "walks": result.walks,
+        "walk_depth": depth,
+        "seed": seed,
+        "wall_seconds": round(wall, 6),
+        "distinct_states": result.distinct_states,
+        "generated_states": result.generated_states,
+        "longest_walk": result.max_depth,
+        "walks_per_second": round(result.walks / wall, 1) if wall else None,
         "states_per_second": round(result.generated_states / wall, 1) if wall else None,
         "ok": result.ok,
     }
@@ -227,6 +271,14 @@ def run_bench(
             checking_rows.append(_time_check(name, params, "parallel", workers))
     _attach_speedups(checking_rows, lambda row: row["engine"] == "fingerprint")
 
+    simulation_rows: List[Dict[str, Any]] = []
+    for name, params in cfg.specs:
+        label = _spec_label(name, params)
+        say(f"simulate {label} walks={cfg.sim_walks} depth={cfg.sim_depth}")
+        simulation_rows.append(
+            _time_simulation(name, params, cfg.sim_walks, cfg.sim_depth, cfg.trace_seed)
+        )
+
     trace_rows: List[Dict[str, Any]] = []
     for name, params in cfg.specs:
         label = _spec_label(name, params)
@@ -315,6 +367,7 @@ def run_bench(
             "smoke": cfg.smoke,
         },
         "model_checking": checking_rows,
+        "simulation": simulation_rows,
         "trace_checking": trace_rows,
         "test_generation": generation_rows,
         "notes": notes,
@@ -343,6 +396,15 @@ def summarize(results: Dict[str, Any]) -> str:
             f"  {row['label']:<28} {row['engine']:<11}{workers:<11} "
             f"{row['wall_seconds']:.3f}s  {row['states_per_second']} st/s{speedup}"
         )
+    if results.get("simulation"):
+        lines.append("random-walk simulation (walks/sec):")
+        for row in results["simulation"]:
+            lines.append(
+                f"  {row['label']:<28} walks={row['walks']} "
+                f"depth={row['walk_depth']} {row['wall_seconds']:.3f}s  "
+                f"{row['walks_per_second']} w/s  "
+                f"{row['distinct_states']} distinct state(s)"
+            )
     lines.append("batch trace checking (traces/sec; speedup vs 1 thread worker):")
     for row in results["trace_checking"]:
         speedup = (

@@ -21,12 +21,11 @@ import itertools
 import json
 import os
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
+from ..engine import ENGINES, STORES, ModelChecker, check_spec
 from ..mbtcg import STRATEGIES, generate_suite, replay_corpus, write_corpus
 from ..mbtcg.emitters import write_log_suite, write_pytest_module
-from ..tla import ModelChecker, check_spec
-from ..tla.checker import default_worker_count
 from ..tla.coverage import CoverageReport, coverage_of_trace
 from ..tla.dot import to_dot
 from ..tla.errors import ReproError
@@ -61,16 +60,49 @@ def build_parser() -> argparse.ArgumentParser:
     add_spec_arguments(check_p)
     check_p.add_argument(
         "--engine",
-        choices=("auto", "fingerprint", "states", "parallel"),
+        choices=ENGINES,
         default="auto",
-        help="visited-set engine (default: fingerprint unless a graph is needed; "
-        "parallel shards each BFS level across worker processes)",
+        help="exploration engine (default: fingerprint unless a graph is "
+        "needed; parallel shards each BFS level across worker processes; "
+        "simulate runs seeded random walks instead of exhaustive BFS)",
+    )
+    check_p.add_argument(
+        "--store",
+        choices=STORES,
+        default="auto",
+        help="visited-state store (default: the engine's native store; "
+        "lru bounds memory at --store-capacity fingerprints)",
+    )
+    check_p.add_argument(
+        "--store-capacity",
+        type=int,
+        default=None,
+        help="capacity of the bounded lru store",
     )
     check_p.add_argument(
         "--workers",
         type=int,
         default=None,
-        help="worker processes for --engine parallel (default: one per CPU core)",
+        help="worker processes for --engine parallel/simulate "
+        "(default: one per CPU core for parallel; 1 for simulate)",
+    )
+    check_p.add_argument(
+        "--walks",
+        type=int,
+        default=None,
+        help="random walks for --engine simulate (default: 100)",
+    )
+    check_p.add_argument(
+        "--depth",
+        type=int,
+        default=None,
+        help="max steps per random walk for --engine simulate (default: 50)",
+    )
+    check_p.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="RNG seed for --engine simulate (default: 0)",
     )
     check_p.add_argument("--max-states", type=int, default=None)
     check_p.add_argument("--max-depth", type=int, default=None)
@@ -254,21 +286,52 @@ def _merge_coverage_file(path: str, report: CoverageReport) -> CoverageReport:
     return report
 
 
+def _validate_check_args(args: argparse.Namespace) -> Optional[str]:
+    """Single source of truth for `check` flag consistency.
+
+    Every inconsistent flag combination is a hard error (exit code 2): a
+    flag silently ignored -- or "warned about" while the run proceeds with
+    different semantics than asked for -- is how a CI invocation checks the
+    wrong thing without anyone noticing.
+    """
+    if args.dot and args.engine not in ("auto", "states"):
+        return (
+            f"--dot requires the state graph; use --engine states (or auto), "
+            f"not {args.engine!r}"
+        )
+    if args.workers is not None and args.engine not in ("parallel", "simulate"):
+        return (
+            f"--workers applies only to --engine parallel or simulate; "
+            f"the {args.engine!r} engine is single-process"
+        )
+    if args.walks is not None and args.engine != "simulate":
+        return f"--walks applies only to --engine simulate, not {args.engine!r}"
+    if args.depth is not None and args.engine != "simulate":
+        return f"--depth applies only to --engine simulate, not {args.engine!r}"
+    if args.seed is not None and args.engine != "simulate":
+        return f"--seed applies only to --engine simulate, not {args.engine!r}"
+    if args.engine == "simulate" and (
+        args.max_states is not None or args.max_depth is not None
+    ):
+        return (
+            "--max-states/--max-depth apply only to the BFS engines; "
+            "bound --engine simulate with --walks/--depth instead"
+        )
+    if args.store_capacity is not None and args.store != "lru":
+        return f"--store-capacity applies only to --store lru, not {args.store!r}"
+    return None
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
+    error = _validate_check_args(args)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     spec, _entry = build_spec_by_name(args.spec, **parse_params(tuple(args.param)))
     collect_graph = bool(args.dot)
     engine = args.engine
-    if collect_graph and engine in ("fingerprint", "parallel"):
-        print("error: --dot requires the states engine", file=sys.stderr)
-        return 2
-    if args.workers is not None and engine != "parallel":
-        print(
-            f"warning: --workers only applies to --engine parallel; "
-            f"the {engine!r} engine runs serially",
-            file=sys.stderr,
-        )
     check_properties = not args.no_properties
-    if engine in ("fingerprint", "parallel") and check_properties and spec.properties:
+    if engine not in ("auto", "states") and check_properties and spec.properties:
         print(f"note: {engine} engine skips temporal properties (needs the state graph)")
         check_properties = False
 
@@ -282,6 +345,11 @@ def _cmd_check(args: argparse.Namespace) -> int:
             max_depth=args.max_depth,
             engine=engine,
             workers=args.workers,
+            store=args.store,
+            store_capacity=args.store_capacity,
+            walks=args.walks if args.walks is not None else 100,
+            walk_depth=args.depth if args.depth is not None else 50,
+            seed=args.seed if args.seed is not None else 0,
         )
         return checker.run()
 
@@ -303,8 +371,14 @@ def _cmd_check(args: argparse.Namespace) -> int:
             "statistics cover only the explored prefix"
         )
     workers_note = f" ({result.workers} workers)" if result.engine == "parallel" else ""
+    walks_note = (
+        f" ({result.walks} walks, longest {result.max_depth} step(s))"
+        if result.engine == "simulate"
+        else ""
+    )
     print(
-        f"engine: {result.engine}{workers_note}; "
+        f"engine: {result.engine}{workers_note}{walks_note}; "
+        f"store: {result.store}; "
         f"peak frontier {result.peak_frontier} state(s)"
     )
     for name in sorted(result.action_counts):

@@ -33,7 +33,7 @@ import heapq
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from ..tla import NULL, Record, Specification, State
 from ..tla.errors import ReproError

@@ -15,8 +15,8 @@ regenerated for diagnosis without rebuilding the whole batch.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
 
 from ..tla import Specification, State
 from ..tla.trace import SuccessorCache, _matching_action

@@ -25,14 +25,15 @@ The specification is used three ways in this repository:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from ..tla import Action, Invariant, Record, Specification, State, registry
+from ..tla import Action, Invariant, Specification, State, registry
 
 __all__ = [
     "COMPATIBILITY",
     "LOCK_MODES",
+    "MUTATIONS",
     "LockingConfig",
     "build_spec",
     "compatible",
@@ -81,16 +82,30 @@ def compatible(mode_a: str, mode_b: str) -> bool:
     return COMPATIBILITY[(mode_a, mode_b)]
 
 
+#: Known seeded bugs, for exercising the checker's violation paths (the
+#: ``simulate`` engine's acceptance test hunts the first one down by random
+#: walk).  ``"xx_compatible"`` makes the grant check treat two exclusive
+#: locks on one resource as compatible, so ``MutualExclusion`` is violated
+#: on any resource two threads both X-lock.
+MUTATIONS: Tuple[str, ...] = ("xx_compatible",)
+
+
 @dataclass(frozen=True)
 class LockingConfig:
     """Bound the model: how many threads contend for the hierarchy."""
 
     n_threads: int = 2
     allow_exclusive: bool = True
+    #: One of :data:`MUTATIONS`, or None for the correct model.
+    mutation: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.n_threads < 1:
             raise ValueError("n_threads must be at least 1")
+        if self.mutation is not None and self.mutation not in MUTATIONS:
+            raise ValueError(
+                f"unknown mutation {self.mutation!r}; known: {MUTATIONS}"
+            )
 
     @property
     def threads(self) -> range:
@@ -121,13 +136,23 @@ def _holders(held: Sequence[Sequence[str]], resource: str) -> List[str]:
     return [row[idx] for row in held if row[idx] != NO_LOCK]
 
 
-def _grantable(held: Sequence[Sequence[str]], thread: int, resource: str, mode: str) -> bool:
+def _grantable(
+    held: Sequence[Sequence[str]],
+    thread: int,
+    resource: str,
+    mode: str,
+    mutation: Optional[str] = None,
+) -> bool:
     idx = _resource_index(resource)
     for other, row in enumerate(held):
         if other == thread:
             continue
         other_mode = row[idx]
-        if other_mode != NO_LOCK and not compatible(mode, other_mode):
+        if other_mode == NO_LOCK:
+            continue
+        if mutation == "xx_compatible" and mode == "X" and other_mode == "X":
+            continue  # the seeded bug: a second X grant slips past the check
+        if not compatible(mode, other_mode):
             return False
     return True
 
@@ -162,7 +187,7 @@ def _acquire(state: State, config: LockingConfig) -> Iterator[Dict[str, Any]]:
             for mode in config.modes:
                 if not _has_parent_intent(held, thread, resource, mode):
                     continue
-                if not _grantable(held, thread, resource, mode):
+                if not _grantable(held, thread, resource, mode, config.mutation):
                     continue
                 yield {"held": _with_lock(held, thread, resource, mode)}
 
@@ -180,6 +205,15 @@ def _release(state: State, config: LockingConfig) -> Iterator[Dict[str, Any]]:
                 continue
             yield {"held": _with_lock(held, thread, resource, NO_LOCK)}
             break  # only the deepest held lock of this thread is releasable
+
+
+def _mutual_exclusion(state: State, config: LockingConfig) -> bool:
+    """At most one thread holds an exclusive lock on any one resource."""
+    held = state["held"]
+    for idx in range(len(RESOURCES)):
+        if sum(1 for thread in config.threads if held[thread][idx] == "X") > 1:
+            return False
+    return True
 
 
 def _no_conflicting_grants(state: State, config: LockingConfig) -> bool:
@@ -241,11 +275,19 @@ def build_spec(config: Optional[LockingConfig] = None) -> Specification:
             Action("Release", bind(_release)),
         ],
         invariants=[
+            # MutualExclusion first: it is the invariant the seeded
+            # "xx_compatible" mutation is defined to violate, and
+            # violated_invariant() reports the first tripped invariant.
+            Invariant("MutualExclusion", bind(_mutual_exclusion)),
             Invariant("NoConflictingGrants", bind(_no_conflicting_grants)),
             Invariant("HierarchyRespected", bind(_hierarchy_respected)),
             Invariant("ExclusiveIsExclusive", bind(_exclusive_is_exclusive)),
         ],
-        constants={"n_threads": cfg.n_threads, "allow_exclusive": cfg.allow_exclusive},
+        constants={
+            "n_threads": cfg.n_threads,
+            "allow_exclusive": cfg.allow_exclusive,
+            "mutation": cfg.mutation,
+        },
     )
 
 
@@ -273,7 +315,8 @@ registry.register_spec(
     "locking",
     spec_factory,
     description="MongoDB-style hierarchical locking (paper Section 4.2.5); "
-    "params: n_threads, allow_exclusive",
+    "params: n_threads, allow_exclusive, mutation (seeded bug, e.g. "
+    "xx_compatible)",
     per_node_variables=per_node_variables,
     node_count=node_count,
 )

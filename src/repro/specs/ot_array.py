@@ -26,7 +26,7 @@ the reproduction of the paper's 4,913-test pipeline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 from ..tla import NULL, Action, Invariant, Record, Specification, State, registry
 

@@ -3,15 +3,16 @@
 This package is the reproduction's replacement for the TLA+ tool chain the
 paper uses (the TLA+ language plus the TLC model checker).  Specifications
 are written as plain Python (variables, actions, invariants); the
-:class:`~repro.tla.checker.ModelChecker` enumerates the reachable state space
-breadth-first exactly as TLC does, the :mod:`~repro.tla.trace` module checks
-recorded implementation traces against a specification (MBTC), and the
+:class:`~repro.engine.core.ModelChecker` (re-exported here and through the
+:mod:`repro.tla.checker` façade) explores the reachable state space with a
+pluggable engine -- exhaustive BFS exactly as TLC does, or seeded random
+simulation -- the :mod:`~repro.tla.trace` module checks recorded
+implementation traces against a specification (MBTC), and the
 :mod:`~repro.tla.dot` module exports the state graph for model-based
 test-case generation (MBTCG).
 """
 
 from . import registry
-from .checker import CheckResult, ModelChecker, check_spec
 from .coverage import CoverageReport, coverage_of_trace, merge_reports
 from .dot import ParsedStateGraph, parse_dot, to_dot
 from .errors import (
@@ -106,3 +107,25 @@ __all__ = [
     "thaw",
     "to_dot",
 ]
+
+#: Checker names are provided lazily (PEP 562): the checker is a façade over
+#: :mod:`repro.engine`, which itself imports this package's submodules --
+#: importing it eagerly here would be a circular import.  Attribute access
+#: (``repro.tla.ModelChecker``), ``from repro.tla import ModelChecker`` and
+#: star-imports all resolve through ``__getattr__`` unchanged.
+_CHECKER_EXPORTS = ("CheckResult", "ModelChecker", "check_spec")
+
+
+def __getattr__(name: str):
+    # "checker" itself is handled too: the eager import used to bind the
+    # submodule as an attribute of this package, and `import repro.tla;
+    # repro.tla.checker.ModelChecker` must keep working.  import_module (not
+    # `from . import checker`) on purpose: the from-import form ends with a
+    # getattr on this package, which re-enters this __getattr__ and recurses
+    # when the submodule attribute is not yet bound.
+    if name == "checker" or name in _CHECKER_EXPORTS:
+        from importlib import import_module
+
+        checker = import_module(".checker", __name__)
+        return checker if name == "checker" else getattr(checker, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,735 +1,43 @@
-"""Explicit-state model checker: the library's TLC substitute.
+"""Back-compat façade over :mod:`repro.engine`, the pluggable engine package.
 
-The checker does what the paper relies on TLC for:
+The model checker used to live here as a single monolithic class; it now
+lives in :mod:`repro.engine` -- one module per exploration strategy
+(``fingerprint``, ``states``, ``parallel``, ``simulate``), a pluggable
+visited-state store seam (:mod:`repro.engine.store`), and a coordinating
+:class:`~repro.engine.core.ModelChecker`.  This module re-exports the
+public surface so every historical import keeps working:
 
-* exhaustive breadth-first enumeration of the reachable state space under a
-  state constraint (``CONSTRAINT`` in a TLC config),
-* invariant checking with counterexample behaviours,
-* optional deadlock detection,
-* temporal-property ("eventually") checking over the state graph,
-* statistics (distinct states, generated states, diameter) matching the
-  numbers TLC prints and which the paper quotes (42,034 and 371,368 states
-  for the two RaftMongo variants), and
-* optional retention of the full state graph, which the :mod:`repro.mbtcg`
-  test-case generation subsystem consumes (see
-  :func:`repro.mbtcg.generator.generate_suite`).
+    from repro.tla.checker import ModelChecker, CheckResult, check_spec
 
-Three exploration engines are provided:
+is exactly the same objects as
 
-* ``"fingerprint"`` -- the default when no state graph is requested.  The
-  visited set holds only stable 64-bit state fingerprints (as TLC's own
-  fingerprint set does), plus a fingerprint-keyed parent map used to rebuild
-  counterexample behaviours by forward replay.  Full ``State`` objects live
-  only on the current and next BFS frontier, so peak memory is bounded by the
-  widest level rather than the whole reachable space.
-* ``"parallel"`` -- the multi-core engine: the same level-synchronous BFS,
-  but each depth's frontier is sharded across a ``multiprocessing`` pool.
-  Workers expand states, fingerprint successors and evaluate invariants and
-  the state constraint with their own per-process
-  :class:`~repro.tla.values.FingerprintCache`; the coordinator merges the
-  per-shard results -- in frontier order, so statistics and counterexamples
-  are bit-identical to the ``fingerprint`` engine.  Because a spec is a
-  bundle of closures, workers rebuild it from its
-  :attr:`~repro.tla.spec.Specification.registry_ref` (see
-  :mod:`repro.tla.registry`), the way every TLC worker re-parses the ``.tla``
-  module.
-* ``"states"`` -- the original engine: every distinct ``State`` is retained.
-  Required (and selected automatically) when the state graph is collected for
-  temporal properties or :mod:`repro.mbtcg` behaviour enumeration.
+    from repro.engine import ModelChecker, CheckResult, check_spec
+
+New code should import from :mod:`repro.engine` directly.
 """
 
 from __future__ import annotations
 
-import os
-import time
-from collections import deque
-from concurrent.futures import ProcessPoolExecutor
-from itertools import islice
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
-
-from .errors import (
-    CheckerError,
-    DeadlockError,
-    InvariantViolation,
-    LivenessViolation,
-    StateSpaceLimitExceeded,
+from ..engine import (
+    ENGINES,
+    CheckContext,
+    CheckResult,
+    Engine,
+    ModelChecker,
+    check_spec,
+    default_worker_count,
+    engine_names,
+    register_engine,
 )
-from .graph import PropertyCheckOutcome, StateGraph
-from .spec import Specification
-from .state import State
-from .values import FingerprintCache
 
-__all__ = ["CheckResult", "ModelChecker", "check_spec", "default_worker_count"]
-
-ENGINES = ("auto", "fingerprint", "states", "parallel")
-
-#: One entry of a worker's expansion result: ``(action name, successor value
-#: tuple, successor fingerprint, violated invariant name or None, constraint
-#: verdict)``.
-_SuccessorInfo = Tuple[str, Tuple[Any, ...], int, Optional[str], bool]
-
-
-def default_worker_count() -> int:
-    """Worker count used when ``workers`` is not given: one per CPU core."""
-    return os.cpu_count() or 1
-
-
-#: Below ``workers * _INLINE_FRONTIER`` states, a BFS level is expanded in the
-#: coordinator: pickling a handful of states to the pool costs more than
-#: expanding them.  The shallow first levels of every run stay inline, so the
-#: pool is only ever started for state spaces wide enough to amortize it.
-_INLINE_FRONTIER = 8
-
-#: Cap on each expander's invariant/constraint verdict memo (see
-#: :func:`_expand_state`); bounds per-process memory on paper-scale runs.
-_VERDICT_MEMO_MAX = 500_000
-
-
-# ---------------------------------------------------------------------------
-# Parallel-engine worker side.  Each pool process builds its own copy of the
-# spec (by registry name) once, in the initializer, and keeps a private
-# FingerprintCache for the whole run.
-# ---------------------------------------------------------------------------
-
-_WORKER_SPEC: Optional[Specification] = None
-_WORKER_CACHE: Optional[FingerprintCache] = None
-_WORKER_VERDICTS: Dict[int, Tuple[Optional[str], bool]] = {}
-
-
-def _parallel_worker_init(
-    registry_name: str, params: Dict[str, Any], provider_modules: List[str]
-) -> None:
-    global _WORKER_SPEC, _WORKER_CACHE, _WORKER_VERDICTS
-    from . import registry
-
-    # Under the 'spawn' start method a worker starts with a fresh registry;
-    # adopting the coordinator's provider list lets it rebuild specs whose
-    # factories live outside the default providers.  (Under 'fork' the
-    # registrations are inherited and this is a no-op.)
-    registry.adopt_providers(provider_modules)
-    _WORKER_SPEC = registry.build_spec(registry_name, **params)
-    _WORKER_CACHE = FingerprintCache()
-    _WORKER_VERDICTS = {}
-
-
-def _expand_state(
-    spec: Specification,
-    cache: FingerprintCache,
-    state: State,
-    verdicts: Dict[int, Tuple[Optional[str], bool]],
-) -> List[_SuccessorInfo]:
-    """Expand one state into successor-info tuples.
-
-    This is the single source of truth for what an expansion produces: both
-    the pool workers and the coordinator's inline path (narrow BFS levels) go
-    through it, so the engine's bit-identical-statistics guarantee cannot be
-    broken by the two paths drifting apart.
-
-    ``verdicts`` memoizes ``(violated invariant name, constraint verdict)``
-    per successor fingerprint: the serial engine evaluates invariants once
-    per *distinct* state, but an expander cannot know what its peers visited,
-    so without the memo it would re-evaluate once per *generated* successor
-    -- a 3-6x multiplier on the benchmarked specs.  Verdicts are
-    deterministic per state, so memoization cannot change results; the memo
-    is capped (oldest half discarded, like ``FingerprintCache``) so it never
-    grows into a second per-process copy of a paper-scale visited set.
-    """
-    entries: List[_SuccessorInfo] = []
-    for action_name, nxt in spec.successors(state):
-        nfp = nxt.fingerprint(cache)
-        cached = verdicts.get(nfp)
-        if cached is None:
-            violated = spec.violated_invariant(nxt)
-            cached = (
-                None if violated is None else violated.name,
-                spec.within_constraint(nxt),
-            )
-            if len(verdicts) >= _VERDICT_MEMO_MAX:
-                for key in list(islice(verdicts, len(verdicts) // 2)):
-                    del verdicts[key]
-            verdicts[nfp] = cached
-        entries.append((action_name, nxt.values, nfp, cached[0], cached[1]))
-    return entries
-
-
-def _parallel_expand_shard(
-    shard: List[Tuple[Tuple[Any, ...], int]],
-) -> List[Tuple[int, List[_SuccessorInfo]]]:
-    """Expand one frontier shard: successors + fingerprints + invariant verdicts.
-
-    Input and output are value tuples rather than ``State`` objects to keep
-    the pickled payloads minimal; the coordinator rebuilds ``State`` only for
-    successors that actually enter the next frontier.
-    """
-    spec, cache = _WORKER_SPEC, _WORKER_CACHE
-    assert spec is not None and cache is not None
-    schema = spec.schema
-    return [
-        (
-            fp,
-            _expand_state(
-                spec, cache, State.from_values(schema, values), _WORKER_VERDICTS
-            ),
-        )
-        for values, fp in shard
-    ]
-
-
-@dataclass
-class CheckResult:
-    """Outcome and statistics of one model-checking run."""
-
-    spec_name: str
-    distinct_states: int = 0
-    generated_states: int = 0
-    max_depth: int = 0
-    duration_seconds: float = 0.0
-    action_counts: Dict[str, int] = field(default_factory=dict)
-    invariant_violation: Optional[InvariantViolation] = None
-    deadlock: Optional[DeadlockError] = None
-    property_outcomes: List[PropertyCheckOutcome] = field(default_factory=list)
-    graph: Optional[StateGraph] = None
-    truncated: bool = False
-    engine: str = "states"
-    peak_frontier: int = 0
-    workers: int = 1
-
-    @property
-    def ok(self) -> bool:
-        """True when no invariant, deadlock or property violation was found."""
-        if self.invariant_violation is not None or self.deadlock is not None:
-            return False
-        return all(outcome.holds for outcome in self.property_outcomes)
-
-    def summary(self) -> str:
-        """One-line human-readable summary, similar to TLC's final output."""
-        status = "OK" if self.ok else "VIOLATION"
-        return (
-            f"{self.spec_name}: {status}; {self.distinct_states} distinct states, "
-            f"{self.generated_states} states generated, depth {self.max_depth}, "
-            f"{self.duration_seconds:.2f}s"
-        )
-
-
-class ModelChecker:
-    """Breadth-first explicit-state model checker for a :class:`Specification`."""
-
-    def __init__(
-        self,
-        spec: Specification,
-        *,
-        collect_graph: bool = False,
-        check_deadlock: bool = False,
-        check_properties: bool = True,
-        max_states: Optional[int] = None,
-        max_depth: Optional[int] = None,
-        stop_on_violation: bool = True,
-        engine: str = "auto",
-        workers: Optional[int] = None,
-    ) -> None:
-        if engine not in ENGINES:
-            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
-        if workers is not None and workers < 1:
-            raise ValueError("workers must be >= 1")
-        self.spec = spec
-        self.check_properties = check_properties
-        # Temporal properties are checked on the state graph, so requesting
-        # them implies collecting it.  Large runs (the paper-scale RaftMongo
-        # configuration) can disable property checking to save memory.
-        self.collect_graph = collect_graph or (check_properties and bool(spec.properties))
-        self.check_deadlock = check_deadlock
-        self.max_states = max_states
-        self.max_depth = max_depth
-        self.stop_on_violation = stop_on_violation
-        if self.collect_graph and engine in ("fingerprint", "parallel"):
-            raise ValueError(
-                f"the {engine} engine cannot collect a state graph; "
-                "use engine='states' (or 'auto') when collect_graph or "
-                "temporal-property checking is requested"
-            )
-        if engine == "parallel" and spec.registry_ref is None:
-            raise CheckerError(
-                f"engine='parallel' requires a registered specification, but "
-                f"{spec.name!r} has no registry_ref; build it via "
-                "repro.tla.registry.build_spec (or register its factory with "
-                "register_spec) so worker processes can rebuild it by name"
-            )
-        self.engine = engine
-        self.workers = workers
-
-    # ------------------------------------------------------------------------------
-    def run(self) -> CheckResult:
-        """Explore the reachable state space and return a :class:`CheckResult`."""
-        result = CheckResult(spec_name=self.spec.name)
-        started = time.perf_counter()
-        if self.collect_graph or self.engine == "states":
-            result.engine = "states"
-            self._run_states(result)
-        elif self.engine == "parallel":
-            result.engine = "parallel"
-            self._run_parallel(result)
-        else:
-            result.engine = "fingerprint"
-            self._run_fingerprint(result)
-        result.duration_seconds = time.perf_counter() - started
-
-        # Temporal properties -----------------------------------------------------
-        if (
-            result.graph is not None
-            and self.check_properties
-            and self.spec.properties
-            and result.invariant_violation is None
-            and not result.truncated
-        ):
-            for prop in self.spec.properties:
-                result.property_outcomes.append(result.graph.check_property(prop))
-        return result
-
-    # Shared fingerprint-BFS helpers ---------------------------------------------
-    def _fp_violation(
-        self,
-        fp: int,
-        inv_name: str,
-        parents: Dict[int, Tuple[Optional[int], Optional[str]]],
-    ) -> InvariantViolation:
-        return InvariantViolation(
-            f"invariant {inv_name!r} violated by specification {self.spec.name!r}",
-            property_name=inv_name,
-            trace=self._replay(fp, parents),
-        )
-
-    def _seed_frontier(
-        self,
-        result: CheckResult,
-        cache: FingerprintCache,
-        visited: Set[int],
-        parents: Dict[int, Tuple[Optional[int], Optional[str]]],
-    ) -> Tuple[List[Tuple[State, int]], bool]:
-        """Enumerate initial states into the depth-0 frontier.
-
-        Shared by the fingerprint and parallel engines (both are serial here:
-        initial sets are tiny, and forking for them would be pure cost), so
-        the two cannot drift apart in how exploration starts -- part of the
-        bit-identical-statistics contract between them.
-        """
-        spec = self.spec
-        frontier: List[Tuple[State, int]] = []
-        stop = False
-        for state in spec.initial_states():
-            result.generated_states += 1
-            fp = state.fingerprint(cache)
-            if fp in visited:
-                continue
-            visited.add(fp)
-            parents[fp] = (None, None)
-            violated = spec.violated_invariant(state)
-            if violated is not None:
-                result.invariant_violation = self._fp_violation(
-                    fp, violated.name, parents
-                )
-                if self.stop_on_violation:
-                    stop = True
-                    break
-            if spec.within_constraint(state):
-                frontier.append((state, fp))
-        result.peak_frontier = len(frontier)
-        return frontier, stop
-
-    # Fingerprint engine ---------------------------------------------------------
-    def _run_fingerprint(self, result: CheckResult) -> None:
-        """Level-batched BFS over interned 64-bit state fingerprints.
-
-        Only the current and next frontier hold live ``State`` objects; the
-        visited set and the parent map (used for counterexample replay) are
-        pure fingerprint-to-fingerprint structures, mirroring how TLC's disk
-        fingerprint set lets it check paper-scale state spaces.
-        """
-        spec = self.spec
-        cache = FingerprintCache()
-        visited: Set[int] = set()
-        parents: Dict[int, Tuple[Optional[int], Optional[str]]] = {}
-        action_counts: Dict[str, int] = {act.name: 0 for act in spec.actions}
-        frontier, stop = self._seed_frontier(result, cache, visited, parents)
-
-        # Breadth-first exploration, one depth level per batch ------------------
-        depth = 0
-        while frontier and not stop:
-            if self.max_depth is not None and depth >= self.max_depth:
-                result.truncated = True
-                break
-            next_frontier: List[Tuple[State, int]] = []
-            for state, fp in frontier:
-                if self.max_states is not None and len(visited) >= self.max_states:
-                    result.truncated = True
-                    stop = True
-                    break
-                successors = spec.successors(state)
-                if not successors and self.check_deadlock:
-                    result.deadlock = DeadlockError(
-                        f"deadlock reached in specification {spec.name!r}",
-                        trace=self._replay(fp, parents),
-                    )
-                    if self.stop_on_violation:
-                        stop = True
-                        break
-                for action_name, nxt in successors:
-                    result.generated_states += 1
-                    action_counts[action_name] += 1
-                    nfp = nxt.fingerprint(cache)
-                    if nfp in visited:
-                        continue
-                    visited.add(nfp)
-                    parents[nfp] = (fp, action_name)
-                    result.max_depth = max(result.max_depth, depth + 1)
-                    violated = spec.violated_invariant(nxt)
-                    if violated is not None:
-                        result.invariant_violation = self._fp_violation(
-                            nfp, violated.name, parents
-                        )
-                        if self.stop_on_violation:
-                            stop = True
-                            break
-                    if spec.within_constraint(nxt):
-                        next_frontier.append((nxt, nfp))
-                if stop:
-                    break
-            frontier = next_frontier
-            result.peak_frontier = max(result.peak_frontier, len(frontier))
-            depth += 1
-
-        result.distinct_states = len(visited)
-        result.action_counts = action_counts
-
-    # Parallel engine ------------------------------------------------------------
-    def _run_parallel(self, result: CheckResult) -> None:
-        """Level-synchronous BFS with the frontier sharded across processes.
-
-        Each depth level is split into contiguous shards, one per worker;
-        workers return ``(parent fingerprint, successor info)`` lists and the
-        coordinator merges them *in frontier order*, so every statistic, the
-        visited set, and any counterexample it finds coincide exactly with the
-        serial ``fingerprint`` engine's.  Invariants and the state constraint
-        are evaluated inside the workers, which is where the parallel speedup
-        on invariant-heavy specs (RaftMongo's four invariants) comes from.
-        """
-        spec = self.spec
-        assert spec.registry_ref is not None  # enforced in __init__
-        registry_name, params = spec.registry_ref
-        workers = self.workers or default_worker_count()
-        result.workers = workers
-        cache = FingerprintCache()
-        visited: Set[int] = set()
-        parents: Dict[int, Tuple[Optional[int], Optional[str]]] = {}
-        action_counts: Dict[str, int] = {act.name: 0 for act in spec.actions}
-        frontier, stop = self._seed_frontier(result, cache, visited, parents)
-        inline_verdicts: Dict[int, Tuple[Optional[str], bool]] = {}
-
-        depth = 0
-        pool: Optional[ProcessPoolExecutor] = None
-        try:
-            while frontier and not stop:
-                if self.max_depth is not None and depth >= self.max_depth:
-                    result.truncated = True
-                    break
-                if pool is None and len(frontier) >= workers * _INLINE_FRONTIER:
-                    from .registry import PROVIDER_MODULES
-
-                    pool = ProcessPoolExecutor(
-                        max_workers=workers,
-                        initializer=_parallel_worker_init,
-                        initargs=(registry_name, params, list(PROVIDER_MODULES)),
-                    )
-                next_frontier: List[Tuple[State, int]] = []
-                for fp, entries in self._expand_level(
-                    pool, workers, frontier, cache, inline_verdicts
-                ):
-                    if self.max_states is not None and len(visited) >= self.max_states:
-                        result.truncated = True
-                        stop = True
-                        break
-                    if not entries and self.check_deadlock:
-                        result.deadlock = DeadlockError(
-                            f"deadlock reached in specification {spec.name!r}",
-                            trace=self._replay(fp, parents),
-                        )
-                        if self.stop_on_violation:
-                            stop = True
-                            break
-                    for action_name, nvalues, nfp, violated_name, within in entries:
-                        result.generated_states += 1
-                        action_counts[action_name] += 1
-                        if nfp in visited:
-                            continue
-                        visited.add(nfp)
-                        parents[nfp] = (fp, action_name)
-                        result.max_depth = max(result.max_depth, depth + 1)
-                        if violated_name is not None:
-                            result.invariant_violation = self._fp_violation(
-                                nfp, violated_name, parents
-                            )
-                            if self.stop_on_violation:
-                                stop = True
-                                break
-                        if within:
-                            next_frontier.append(
-                                (State.from_values(spec.schema, nvalues), nfp)
-                            )
-                    if stop:
-                        break
-                frontier = next_frontier
-                result.peak_frontier = max(result.peak_frontier, len(frontier))
-                depth += 1
-        finally:
-            if pool is not None:
-                pool.shutdown(wait=True, cancel_futures=True)
-
-        result.distinct_states = len(visited)
-        result.action_counts = action_counts
-
-    def _expand_level(
-        self,
-        pool: Optional[ProcessPoolExecutor],
-        workers: int,
-        frontier: List[Tuple[State, int]],
-        cache: FingerprintCache,
-        verdicts: Dict[int, Tuple[Optional[str], bool]],
-    ) -> Iterable[Tuple[int, List[_SuccessorInfo]]]:
-        """Expand one BFS level, in frontier order.
-
-        Narrow levels (and everything before the pool is first needed) are
-        expanded inline -- shipping a handful of states through pickle costs
-        more than computing their successors -- with results in the same shape
-        the workers produce, so the merge loop cannot tell the difference.
-        """
-        spec = self.spec
-        if pool is None or len(frontier) < workers * _INLINE_FRONTIER:
-            for state, fp in frontier:
-                yield fp, _expand_state(spec, cache, state, verdicts)
-            return
-
-        shard_size = -(-len(frontier) // workers)  # ceil division
-        futures = []
-        for start in range(0, len(frontier), shard_size):
-            shard = [
-                (state.values, fp)
-                for state, fp in frontier[start : start + shard_size]
-            ]
-            futures.append(pool.submit(_parallel_expand_shard, shard))
-        for future in futures:
-            yield from future.result()
-
-    def _replay(
-        self,
-        target_fp: int,
-        parents: Dict[int, Tuple[Optional[int], Optional[str]]],
-    ) -> List[State]:
-        """Rebuild the behaviour leading to ``target_fp`` by forward replay.
-
-        The fingerprint engine does not retain visited states, so the
-        counterexample is reconstructed the way TLC does it: walk the parent
-        fingerprints back to an initial state, then re-execute the recorded
-        action names forward, selecting at each step the successor whose
-        fingerprint matches the recorded one.
-        """
-        chain: List[Tuple[int, Optional[str]]] = []
-        cursor: Optional[int] = target_fp
-        while cursor is not None:
-            parent, action_name = parents[cursor]
-            chain.append((cursor, action_name))
-            cursor = parent
-        chain.reverse()
-
-        first_fp = chain[0][0]
-        state: Optional[State] = None
-        for candidate in self.spec.initial_states():
-            if candidate.fingerprint() == first_fp:
-                state = candidate
-                break
-        if state is None:  # pragma: no cover - only reachable via fp collision
-            raise CheckerError(
-                f"counterexample replay failed: no initial state of "
-                f"{self.spec.name!r} has fingerprint {first_fp}"
-            )
-        trace = [state]
-        for next_fp, action_name in chain[1:]:
-            assert action_name is not None
-            action = self.spec.action_named(action_name)
-            for successor in action.successors(state):
-                if successor.fingerprint() == next_fp:
-                    state = successor
-                    break
-            else:  # pragma: no cover - only reachable via fp collision
-                raise CheckerError(
-                    f"counterexample replay failed at action {action_name!r}: "
-                    f"no successor has fingerprint {next_fp}"
-                )
-            trace.append(state)
-        return trace
-
-    # State-retaining engine -----------------------------------------------------
-    def _run_states(self, result: CheckResult) -> None:
-        """The original engine: every distinct state object is retained.
-
-        Required when the state graph is collected (temporal properties, DOT
-        export, :mod:`repro.mbtcg` test-case generation) because graph nodes
-        must resolve back to states.
-        """
-        spec = self.spec
-        graph = StateGraph() if self.collect_graph else None
-        discovered: Dict[State, int] = {}
-        parents: Dict[int, Tuple[Optional[int], Optional[str]]] = {}
-        depths: Dict[int, int] = {}
-        queue: deque[State] = deque()
-        action_counts: Dict[str, int] = {act.name: 0 for act in spec.actions}
-
-        def intern(state: State, *, initial: bool) -> Tuple[int, bool]:
-            """Register a state; return (id, is_new)."""
-            existing = discovered.get(state)
-            if existing is not None:
-                if graph is not None and initial:
-                    graph.add_state(state, initial=True)
-                return existing, False
-            new_id = len(discovered)
-            discovered[state] = new_id
-            if graph is not None:
-                graph.add_state(state, initial=initial)
-            return new_id, True
-
-        def record_violation(state_id: int, inv_name: str) -> InvariantViolation:
-            trace = self._reconstruct_trace(state_id, parents, discovered)
-            return InvariantViolation(
-                f"invariant {inv_name!r} violated by specification {spec.name!r}",
-                property_name=inv_name,
-                trace=trace,
-            )
-
-        # Initial states --------------------------------------------------------
-        for state in spec.initial_states():
-            result.generated_states += 1
-            state_id, is_new = intern(state, initial=True)
-            if not is_new:
-                continue
-            parents[state_id] = (None, None)
-            depths[state_id] = 0
-            violated = spec.violated_invariant(state)
-            if violated is not None:
-                result.invariant_violation = record_violation(state_id, violated.name)
-                if self.stop_on_violation:
-                    result.distinct_states = len(discovered)
-                    result.action_counts = action_counts
-                    result.graph = graph
-                    return
-            if spec.within_constraint(state):
-                queue.append(state)
-        result.peak_frontier = len(queue)
-
-        # Breadth-first exploration ------------------------------------------------
-        while queue:
-            if self.max_states is not None and len(discovered) >= self.max_states:
-                result.truncated = True
-                break
-            state = queue.popleft()
-            state_id = discovered[state]
-            depth = depths[state_id]
-            if self.max_depth is not None and depth >= self.max_depth:
-                result.truncated = True
-                continue
-            successors = spec.successors(state)
-            if not successors and self.check_deadlock:
-                trace = self._reconstruct_trace(state_id, parents, discovered)
-                result.deadlock = DeadlockError(
-                    f"deadlock reached in specification {spec.name!r}", trace=trace
-                )
-                if self.stop_on_violation:
-                    break
-            for action_name, nxt in successors:
-                result.generated_states += 1
-                action_counts[action_name] += 1
-                next_id, is_new = intern(nxt, initial=False)
-                if graph is not None:
-                    graph.add_edge(state_id, action_name, next_id)
-                if not is_new:
-                    continue
-                parents[next_id] = (state_id, action_name)
-                depths[next_id] = depth + 1
-                result.max_depth = max(result.max_depth, depth + 1)
-                violated = spec.violated_invariant(nxt)
-                if violated is not None:
-                    result.invariant_violation = record_violation(next_id, violated.name)
-                    if self.stop_on_violation:
-                        queue.clear()
-                        break
-                if spec.within_constraint(nxt):
-                    queue.append(nxt)
-            result.peak_frontier = max(result.peak_frontier, len(queue))
-
-        result.distinct_states = len(discovered)
-        result.action_counts = action_counts
-        result.graph = graph
-
-    # ------------------------------------------------------------------------------
-    @staticmethod
-    def _reconstruct_trace(
-        state_id: int,
-        parents: Dict[int, Tuple[Optional[int], Optional[str]]],
-        discovered: Dict[State, int],
-    ) -> List[State]:
-        """Walk parent pointers back to an initial state to build a behaviour."""
-        by_id = {identifier: state for state, identifier in discovered.items()}
-        trace: List[State] = []
-        current: Optional[int] = state_id
-        while current is not None:
-            trace.append(by_id[current])
-            parent, _action = parents.get(current, (None, None))
-            current = parent
-        trace.reverse()
-        return trace
-
-
-def check_spec(
-    spec: Specification,
-    *,
-    collect_graph: bool = False,
-    check_deadlock: bool = False,
-    check_properties: bool = True,
-    max_states: Optional[int] = None,
-    max_depth: Optional[int] = None,
-    raise_on_violation: bool = False,
-    engine: str = "auto",
-    workers: Optional[int] = None,
-) -> CheckResult:
-    """Convenience wrapper: build a checker, run it, optionally raise.
-
-    With ``raise_on_violation=True`` the helper raises the recorded
-    :class:`InvariantViolation`, :class:`DeadlockError` or
-    :class:`LivenessViolation`, mimicking how TLC aborts with an error trace.
-    """
-    checker = ModelChecker(
-        spec,
-        collect_graph=collect_graph,
-        check_deadlock=check_deadlock,
-        check_properties=check_properties,
-        max_states=max_states,
-        max_depth=max_depth,
-        engine=engine,
-        workers=workers,
-    )
-    result = checker.run()
-    if raise_on_violation:
-        if result.invariant_violation is not None:
-            raise result.invariant_violation
-        if result.deadlock is not None:
-            raise result.deadlock
-        for outcome in result.property_outcomes:
-            if not outcome.holds:
-                raise LivenessViolation(
-                    f"temporal property {outcome.property_name!r} violated: "
-                    f"{outcome.explanation}",
-                    property_name=outcome.property_name,
-                )
-        if result.truncated and max_states is not None:
-            raise StateSpaceLimitExceeded(
-                f"exploration of {spec.name!r} was truncated at {result.distinct_states} states"
-            )
-    return result
+__all__ = [
+    "ENGINES",
+    "CheckContext",
+    "CheckResult",
+    "Engine",
+    "ModelChecker",
+    "check_spec",
+    "default_worker_count",
+    "engine_names",
+    "register_engine",
+]

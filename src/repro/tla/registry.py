@@ -1,12 +1,14 @@
 """First-class specification registry: build any registered spec by name.
 
-The registry is the serialization layer of the multi-core checker: a
+The registry is the serialization layer of everything multi-process: a
 :class:`~repro.tla.spec.Specification` is a bundle of closures and therefore
 does not pickle, so worker processes receive the ``(name, params)`` pair that
 *rebuilds* it instead (TLC does the same thing -- every worker parses the
 ``.tla`` file rather than receiving a parsed module).  :func:`build_spec`
 stamps the pair onto the spec as ``spec.registry_ref`` so the parallel BFS
-engine and the process-based batch runner can dispatch work by name.
+engine (:mod:`repro.engine.parallel`), the random-walk simulation engine's
+sharded walks (:mod:`repro.engine.simulate`), the process-based batch
+runner and parallel MBTCG generation can all dispatch work by name.
 
 Spec modules register themselves at import time via :func:`register_spec`;
 the built-in families under :mod:`repro.specs` are loaded lazily on first

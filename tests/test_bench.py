@@ -21,11 +21,13 @@ def smoke_results():
 
 
 def test_results_document_shape(smoke_results):
-    assert smoke_results["schema_version"] == 2
+    assert smoke_results["schema_version"] == 3
     env = smoke_results["environment"]
     assert env["cpu_count"] >= 1 and env["python"]
     # 2 specs x (states + fingerprint + 2 parallel worker counts)
     assert len(smoke_results["model_checking"]) == 8
+    # schema v3: one simulation row per spec config
+    assert len(smoke_results["simulation"]) == 2
     # 2 specs x (thread@1, thread@max, process@1, process@2)
     assert len(smoke_results["trace_checking"]) == 8
     # 2 generation specs (this config inherits DEFAULT_GENERATION) x 3 strategies
@@ -34,6 +36,14 @@ def test_results_document_shape(smoke_results):
         assert row["ok"]
         assert row["wall_seconds"] > 0
         assert row["states_per_second"] > 0
+        # schema v3: every checking row records its resolved store
+        assert row["store"] == ("states" if row["engine"] == "states" else "fingerprint")
+    for row in smoke_results["simulation"]:
+        assert row["engine"] == "simulate" and row["store"] == "fingerprint"
+        assert row["ok"]
+        assert row["walks"] > 0 and row["walks_per_second"] > 0
+        assert 0 < row["distinct_states"] <= row["generated_states"]
+        assert 0 < row["longest_walk"] <= row["walk_depth"]
     for row in smoke_results["trace_checking"]:
         assert row["unexpected_verdicts"] == 0
         assert row["traces"] == 30
@@ -74,6 +84,7 @@ def test_write_results_and_summarize(tmp_path, smoke_results):
     assert loaded["model_checking"] == smoke_results["model_checking"]
     digest = summarize(smoke_results)
     assert "model checking" in digest and "batch trace checking" in digest
+    assert "random-walk simulation" in digest
     assert "MBTCG test generation" in digest
 
 

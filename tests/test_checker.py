@@ -123,3 +123,29 @@ def test_summary_mentions_verdict(locking_spec):
     result = check_spec(locking_spec, check_properties=False)
     assert "OK" in result.summary()
     assert "544 distinct states" in result.summary()
+
+
+def test_summary_reports_resolved_engine_and_store(locking_spec):
+    """engine='auto' must resolve visibly: summary names engine and store."""
+    result = check_spec(locking_spec, check_properties=False, engine="auto")
+    assert result.engine == "fingerprint"  # auto never leaks into the result
+    assert "engine=fingerprint" in result.summary()
+    assert "store=fingerprint" in result.summary()
+    retained = check_spec(
+        locking_spec, check_properties=False, engine="auto", collect_graph=True
+    )
+    assert retained.engine == "states"
+    assert "engine=states" in retained.summary()
+    assert "store=states" in retained.summary()
+
+
+def test_auto_resolution_is_eager_and_inspectable(locking_spec):
+    checker = ModelChecker(locking_spec, check_properties=False)
+    assert checker.engine == "auto"
+    assert checker.resolved_engine == "fingerprint"
+    assert checker.resolved_store == "fingerprint"
+    graphful = ModelChecker(
+        locking_spec, check_properties=False, collect_graph=True
+    )
+    assert graphful.resolved_engine == "states"
+    assert graphful.resolved_store == "states"

@@ -1,0 +1,213 @@
+"""Back-compat façade + cross-engine parity across the repro.engine seam.
+
+The refactor contract (ISSUE 5): ``repro.tla.checker`` is a thin façade over
+:mod:`repro.engine`, every historical import keeps working and produces
+results identical to the new package's, and all engines -- including the new
+``simulate`` engine -- agree about what is reachable and what violates.
+"""
+
+import pytest
+
+import repro.engine
+import repro.tla
+import repro.tla.checker
+from repro.engine import ENGINES, STORES, engine_names, get_engine, store_names
+from repro.tla.registry import build_spec
+
+
+def _stats(result):
+    return (
+        result.distinct_states,
+        result.generated_states,
+        result.max_depth,
+        result.action_counts,
+        result.peak_frontier,
+    )
+
+
+class TestFacade:
+    def test_facade_reexports_identical_objects(self):
+        assert repro.tla.checker.ModelChecker is repro.engine.ModelChecker
+        assert repro.tla.checker.CheckResult is repro.engine.CheckResult
+        assert repro.tla.checker.check_spec is repro.engine.check_spec
+        assert (
+            repro.tla.checker.default_worker_count
+            is repro.engine.default_worker_count
+        )
+        assert repro.tla.checker.ENGINES == repro.engine.ENGINES
+
+    def test_tla_package_lazy_exports(self):
+        # PEP 562 exports: attribute access, from-import and __all__ intact.
+        assert repro.tla.ModelChecker is repro.engine.ModelChecker
+        assert repro.tla.check_spec is repro.engine.check_spec
+        assert repro.tla.CheckResult is repro.engine.CheckResult
+        from repro.tla import ModelChecker
+
+        assert ModelChecker is repro.engine.ModelChecker
+        assert "ModelChecker" in repro.tla.__all__
+        with pytest.raises(AttributeError):
+            repro.tla.NoSuchName
+
+    def test_tla_checker_submodule_accessible_without_explicit_import(self):
+        # Regression: `import repro.tla` used to bind the checker submodule
+        # eagerly; the lazy __getattr__ must keep `repro.tla.checker.X`
+        # working in a fresh interpreter that imported nothing else.
+        import os
+        import subprocess
+        import sys
+
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env = dict(os.environ, PYTHONPATH=os.path.join(repo_root, "src"))
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "import repro.tla; print(repro.tla.checker.ModelChecker.__name__)",
+            ],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "ModelChecker"
+
+    def test_facade_and_engine_produce_identical_results(self):
+        spec = build_spec("locking")
+        via_facade = repro.tla.checker.check_spec(spec, check_properties=False)
+        via_engine = repro.engine.check_spec(spec, check_properties=False)
+        assert _stats(via_facade) == _stats(via_engine)
+        assert via_facade.engine == via_engine.engine == "fingerprint"
+        assert via_facade.store == via_engine.store == "fingerprint"
+
+    def test_registries_expose_all_engines_and_stores(self):
+        assert ENGINES == ("auto",) + engine_names()
+        assert set(engine_names()) >= {"fingerprint", "states", "parallel", "simulate"}
+        assert STORES[0] == "auto"
+        assert set(store_names()) >= {"fingerprint", "states", "lru"}
+        assert get_engine("simulate").name == "simulate"
+        with pytest.raises(ValueError, match="unknown engine"):
+            get_engine("warp")
+
+
+class TestStoreValidation:
+    def test_unknown_store_rejected(self, locking_spec):
+        with pytest.raises(ValueError, match="unknown store"):
+            repro.engine.ModelChecker(locking_spec, store="disk")
+
+    def test_incompatible_engine_store_pairs_rejected(self, locking_spec):
+        with pytest.raises(ValueError, match="supports stores"):
+            repro.engine.ModelChecker(
+                locking_spec, check_properties=False, engine="states", store="lru"
+            )
+        with pytest.raises(ValueError, match="supports stores"):
+            repro.engine.ModelChecker(
+                locking_spec,
+                check_properties=False,
+                engine="fingerprint",
+                store="states",
+            )
+
+    def test_lru_with_unbounded_bfs_rejected(self, locking_spec):
+        with pytest.raises(ValueError, match="lru store"):
+            repro.engine.ModelChecker(
+                locking_spec, check_properties=False, engine="fingerprint", store="lru"
+            )
+
+    def test_capacity_only_applies_to_lru(self, locking_spec):
+        with pytest.raises(ValueError, match="store_capacity"):
+            repro.engine.ModelChecker(
+                locking_spec, check_properties=False, store_capacity=100
+            )
+
+    def test_lru_bfs_replays_counterexample_without_cycling(self):
+        # Regression: an evicted fingerprint re-reported as "new" must not
+        # overwrite its parent entry with a descendant, or the replay chain
+        # becomes cyclic and replay() never terminates.  This configuration
+        # (tiny capacity, cyclic state space, seeded violation) used to hang.
+        spec = build_spec("locking", mutation="xx_compatible")
+        result = repro.engine.check_spec(
+            spec,
+            check_properties=False,
+            engine="fingerprint",
+            store="lru",
+            store_capacity=4,
+            max_depth=7,
+        )
+        violation = result.invariant_violation
+        assert violation is not None
+        assert violation.property_name == "MutualExclusion"
+        assert violation.trace[0] in spec.initial_states()
+        for current, nxt in zip(violation.trace, violation.trace[1:]):
+            assert nxt in [s for _a, s in spec.successors(current)]
+
+    def test_lru_bfs_with_bound_matches_exact_store_when_nothing_evicted(self):
+        # A capacity larger than the reachable space never evicts, so the
+        # bounded store must reproduce the exact store's results bit for bit.
+        spec = build_spec("locking")
+        exact = repro.engine.check_spec(spec, check_properties=False)
+        bounded = repro.engine.check_spec(
+            spec,
+            check_properties=False,
+            store="lru",
+            store_capacity=10_000,
+            max_states=10_000,
+        )
+        assert bounded.store == "lru"
+        assert not bounded.truncated
+        assert _stats(bounded) == _stats(exact)
+
+
+class TestCrossEngineParity:
+    """All engines agree on the mutated spec's violated invariant."""
+
+    def test_every_engine_finds_the_seeded_mutation(self):
+        spec = build_spec("locking", mutation="xx_compatible")
+        results = {
+            "fingerprint": repro.engine.check_spec(
+                spec, check_properties=False, engine="fingerprint"
+            ),
+            "states": repro.engine.check_spec(
+                spec, check_properties=False, engine="states"
+            ),
+            "parallel": repro.engine.check_spec(
+                spec, check_properties=False, engine="parallel", workers=2
+            ),
+            "simulate": repro.engine.check_spec(
+                spec,
+                check_properties=False,
+                engine="simulate",
+                walks=50,
+                walk_depth=20,
+                seed=0,
+            ),
+        }
+        for engine, result in results.items():
+            assert not result.ok, engine
+            assert result.invariant_violation is not None, engine
+            assert result.invariant_violation.property_name == "MutualExclusion"
+            # every engine's counterexample must be a real behaviour ending
+            # in a genuinely violating state
+            trace = result.invariant_violation.trace
+            assert trace[0] in spec.initial_states()
+            for current, nxt in zip(trace, trace[1:]):
+                assert nxt in [s for _a, s in spec.successors(current)]
+            assert spec.violated_invariant(trace[-1]).name == "MutualExclusion"
+        # the exhaustive BFS engines remain bit-identical to each other
+        assert _stats(results["fingerprint"]) == _stats(results["parallel"])
+        assert [s.values for s in results["fingerprint"].invariant_violation.trace] == [
+            s.values for s in results["parallel"].invariant_violation.trace
+        ]
+
+    def test_simulate_distinct_states_bounded_by_reachable_space(self):
+        spec = build_spec("locking")
+        full = repro.engine.check_spec(spec, check_properties=False)
+        sampled = repro.engine.check_spec(
+            spec,
+            check_properties=False,
+            engine="simulate",
+            walks=100,
+            walk_depth=30,
+            seed=9,
+        )
+        assert sampled.ok
+        assert 0 < sampled.distinct_states <= full.distinct_states

@@ -113,8 +113,11 @@ def test_cli_check_supports_parallel_engine(capsys):
     assert "544 distinct states" in out
 
 
-def test_cli_check_warns_when_workers_is_ignored(capsys):
+def test_cli_check_rejects_workers_without_parallel_engine(capsys):
+    # Historically this combination only warned and ran serially anyway; it
+    # is now a hard error through the unified check-flag validation helper
+    # (see tests/test_cli_validation.py for the full matrix).
     from repro.pipeline.cli import main
 
-    assert main(["check", "locking", "--workers", "2"]) == 0
-    assert "only applies to --engine parallel" in capsys.readouterr().err
+    assert main(["check", "locking", "--workers", "2"]) == 2
+    assert "--workers applies only to --engine parallel" in capsys.readouterr().err

@@ -18,7 +18,7 @@ from repro.pipeline import (
 from repro.pipeline.cli import main
 from repro.pipeline.logs import LogEvent, LogParseError, decode_value, encode_value
 from repro.pipeline.registry import build_spec_by_name, parse_params
-from repro.specs import locking, raft_mongo
+from repro.specs import locking
 from repro.tla import NULL, Record, check_trace
 from repro.tla.coverage import CoverageReport
 from repro.tla.errors import SpecError

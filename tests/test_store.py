@@ -1,0 +1,81 @@
+"""Unit tests for the pluggable visited-state stores (repro.engine.store)."""
+
+import pytest
+
+from repro.engine.store import (
+    BoundedLRUStore,
+    FingerprintSetStore,
+    StateRetainingStore,
+    make_store,
+    register_store,
+    store_names,
+)
+from repro.tla import State, VariableSchema
+
+
+def test_fingerprint_store_add_and_membership():
+    store = FingerprintSetStore()
+    assert store.add(1) and store.add(2)
+    assert not store.add(1)  # duplicate
+    assert 1 in store and 3 not in store
+    assert len(store) == 2
+    assert store.distinct_count == 2
+    assert store.exact and not store.retains_states
+
+
+def test_lru_store_evicts_least_recently_seen():
+    store = BoundedLRUStore(capacity=3)
+    for fp in (1, 2, 3):
+        assert store.add(fp)
+    assert not store.add(1)  # touch 1: now 2 is the least recently seen
+    assert store.add(4)  # evicts 2
+    assert 1 in store and 3 in store and 4 in store
+    assert 2 not in store
+    assert store.evictions == 1
+    assert len(store) == 3
+    # distinct_count keeps counting adds: an upper bound once eviction starts
+    assert store.distinct_count == 4
+    assert store.add(2)  # the evictee reads as new again
+    assert store.distinct_count == 5
+    assert not store.exact
+
+
+def test_lru_store_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        BoundedLRUStore(capacity=0)
+
+
+def test_state_retaining_store_interns_by_value():
+    schema = VariableSchema(("x",))
+    store = StateRetainingStore()
+    a0, new0 = store.intern(State(schema, {"x": 0}))
+    a1, new1 = store.intern(State(schema, {"x": 1}))
+    dup, new_dup = store.intern(State(schema, {"x": 0}))
+    assert (a0, new0) == (0, True)
+    assert (a1, new1) == (1, True)
+    assert (dup, new_dup) == (0, False)
+    assert store.state_of(1)["x"] == 1
+    assert store.id_of(State(schema, {"x": 1})) == 1
+    assert len(store) == store.distinct_count == 2
+    assert store.retains_states
+    with pytest.raises(TypeError):
+        store.add(123)  # fingerprint interface is not this store's contract
+
+
+def test_make_store_and_registry():
+    assert set(store_names()) >= {"fingerprint", "states", "lru"}
+    assert isinstance(make_store("fingerprint"), FingerprintSetStore)
+    assert isinstance(make_store("states"), StateRetainingStore)
+    lru = make_store("lru", capacity=7)
+    assert isinstance(lru, BoundedLRUStore) and lru.capacity == 7
+    with pytest.raises(ValueError, match="unknown store"):
+        make_store("disk")
+
+
+def test_register_store_makes_new_backend_addressable():
+    class CountingStore(FingerprintSetStore):
+        name = "_test_counting"
+
+    register_store("_test_counting", lambda capacity: CountingStore())
+    assert "_test_counting" in store_names()
+    assert isinstance(make_store("_test_counting"), CountingStore)
