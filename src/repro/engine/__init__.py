@@ -18,6 +18,12 @@ Visited-state storage is a second, independent seam
 declare compatible, so memory behaviour (exact set, state-retaining,
 bounded LRU) is chosen per run without touching engine code.
 
+Execution robustness is a third seam (:mod:`repro.resilience`): the pooled
+engines dispatch through a supervised worker pool (crash/hang detection,
+bounded retry, degrade-to-serial), the level-synchronous BFS engines can
+checkpoint and resume through the store snapshot seam, and a seeded chaos
+layer injects worker faults deterministically for testing all of it.
+
 :class:`~repro.engine.core.ModelChecker` coordinates: it resolves
 ``engine="auto"``/``store="auto"`` eagerly, validates the combination,
 builds the shared :class:`~repro.engine.base.CheckContext` and runs the

@@ -21,6 +21,9 @@ from dataclasses import dataclass, field
 from itertools import islice
 from typing import Any, Dict, List, Optional, Tuple, Type
 
+from ..resilience.checkpoint import Checkpoint, write_checkpoint
+from ..resilience.faults import FaultPlan
+from ..resilience.supervisor import SupervisionConfig, SupervisionStats
 from ..tla.errors import CheckerError, DeadlockError, InvariantViolation
 from ..tla.graph import PropertyCheckOutcome, StateGraph
 from ..tla.spec import Specification
@@ -125,6 +128,16 @@ class CheckResult:
     workers: int = 1
     #: Random walks completed (``simulate`` engine only; 0 otherwise).
     walks: int = 0
+    #: What the supervised worker pool survived (None when no pool ran):
+    #: crashes, hangs, corrupt results, retries, degradation.
+    supervision: Optional[SupervisionStats] = None
+    #: Where periodic checkpoints were written (None when disabled).
+    checkpoint_path: Optional[str] = None
+    #: The checkpoint file this run resumed from (None for fresh runs).
+    resumed_from: Optional[str] = None
+    #: True when the run was cut short by KeyboardInterrupt; the statistics
+    #: cover only the explored prefix (like a truncated run).
+    interrupted: bool = False
 
     @property
     def ok(self) -> bool:
@@ -182,6 +195,22 @@ class CheckContext:
     parents: Dict[int, Tuple[Optional[int], Optional[str]]] = field(
         default_factory=dict
     )
+    #: Supervision knobs for engines that dispatch to worker pools; None
+    #: means :meth:`SupervisionConfig.from_env` defaults.
+    supervision: Optional[SupervisionConfig] = None
+    #: Deterministic fault-injection plan for the supervised pools (chaos
+    #: testing); None disables explicit injection (the environment may still
+    #: switch it on -- see :meth:`repro.resilience.faults.FaultPlan.from_env`).
+    chaos: Optional[FaultPlan] = None
+    #: Periodic checkpointing: write a resumable snapshot to this path every
+    #: ``checkpoint_every`` completed BFS levels (0 disables).
+    checkpoint_path: Optional[str] = None
+    checkpoint_every: int = 0
+    #: The ``lru`` store capacity of this run (recorded into checkpoints).
+    store_capacity: Optional[int] = None
+    #: Set by the coordinator when resuming: ``(depth, wire frontier)`` --
+    #: the next level to expand and its pending frontier as value tuples.
+    resume: Optional[Tuple[int, List[Tuple[Tuple[Any, ...], int]]]] = None
 
     # Shared fingerprint-BFS helpers -----------------------------------------
     def fp_violation(self, fp: int, inv_name: str) -> InvariantViolation:
@@ -226,6 +255,67 @@ class CheckContext:
                 frontier.append((state, fp))
         result.peak_frontier = len(frontier)
         return frontier, stop
+
+    def start_frontier(
+        self,
+    ) -> Tuple[List[Tuple[State, int]], bool, int, Dict[str, int]]:
+        """``(frontier, stop, depth, action_counts)`` for fresh *or* resumed runs.
+
+        A fresh run seeds the depth-0 frontier from the initial states; a
+        resumed run rebuilds the checkpointed frontier (value tuples back to
+        ``State`` objects) and continues at the checkpointed depth with the
+        checkpointed action counters -- the store, parent map and result
+        statistics were already restored by the coordinator.  Engines using
+        this single entry point cannot diverge in how the two cases start,
+        which is what makes resumed statistics bit-identical.
+        """
+        action_counts: Dict[str, int] = {act.name: 0 for act in self.spec.actions}
+        if self.resume is not None:
+            depth, wire_frontier = self.resume
+            action_counts.update(self.result.action_counts)
+            schema = self.spec.schema
+            frontier = [
+                (State.from_values(schema, values), fp)
+                for values, fp in wire_frontier
+            ]
+            return frontier, False, depth, action_counts
+        frontier, stop = self.seed_frontier()
+        return frontier, stop, 0, action_counts
+
+    def maybe_checkpoint(
+        self,
+        depth: int,
+        frontier: List[Tuple[State, int]],
+        action_counts: Dict[str, int],
+    ) -> None:
+        """Persist a resumable snapshot if this level is a checkpoint level.
+
+        Called by the BFS engines after each *completed* level, with
+        ``depth`` being the next level to expand.  Writes are atomic, so an
+        interruption mid-checkpoint leaves the previous snapshot usable.
+        """
+        if not self.checkpoint_path or self.checkpoint_every <= 0:
+            return
+        if depth % self.checkpoint_every != 0:
+            return
+        result = self.result
+        checkpoint = Checkpoint(
+            spec_name=self.spec.name,
+            registry_ref=self.spec.registry_ref,
+            store_name=getattr(self.store, "name", "?"),
+            store_capacity=self.store_capacity,
+            depth=depth,
+            frontier=[(state.values, fp) for state, fp in frontier],
+            store_state=self.store.snapshot(),
+            parents=dict(self.parents),
+            stats={
+                "generated_states": result.generated_states,
+                "max_depth": result.max_depth,
+                "peak_frontier": result.peak_frontier,
+                "action_counts": dict(action_counts),
+            },
+        )
+        write_checkpoint(self.checkpoint_path, checkpoint)
 
     def replay(self, target_fp: int) -> List[State]:
         """Rebuild the behaviour leading to ``target_fp`` by forward replay.
@@ -295,6 +385,10 @@ class Engine:
     #: can re-expand evicted states forever, so the coordinator requires an
     #: explicit ``max_states``/``max_depth`` from them.
     bounded_exploration: bool = False
+    #: True when the engine honors ``checkpoint_path``/``resume`` on its
+    #: context (the level-synchronous BFS engines; exploration state of the
+    #: graph-retaining and simulation engines is not snapshot-able yet).
+    supports_checkpoint: bool = False
 
     @classmethod
     def requires_registry(cls, workers: Optional[int]) -> bool:

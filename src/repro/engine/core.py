@@ -15,8 +15,12 @@ from __future__ import annotations
 import time
 from typing import Optional
 
+from ..resilience.checkpoint import Checkpoint, read_checkpoint
+from ..resilience.faults import FaultPlan
+from ..resilience.supervisor import SupervisionConfig
 from ..tla.errors import (
     CheckerError,
+    CheckInterrupted,
     LivenessViolation,
     StateSpaceLimitExceeded,
 )
@@ -47,6 +51,11 @@ class ModelChecker:
         walks: int = 100,
         walk_depth: int = 50,
         seed: int = 0,
+        supervision: Optional[SupervisionConfig] = None,
+        chaos: Optional[FaultPlan] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 0,
+        resume_path: Optional[str] = None,
     ) -> None:
         known_engines = ("auto",) + engine_names()
         if engine not in known_engines:
@@ -59,6 +68,8 @@ class ModelChecker:
             raise ValueError("walks must be >= 1")
         if walk_depth < 1:
             raise ValueError("walk_depth must be >= 1")
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
         self.spec = spec
         self.check_properties = check_properties
         # Temporal properties are checked on the state graph, so requesting
@@ -75,6 +86,14 @@ class ModelChecker:
         self.walk_depth = walk_depth
         self.seed = seed
         self.store_capacity = store_capacity
+        self.supervision = supervision
+        self.chaos = chaos
+        self.checkpoint_path = checkpoint_path
+        # A checkpoint path with no interval means "every level".
+        self.checkpoint_every = (
+            checkpoint_every if checkpoint_every else (1 if checkpoint_path else 0)
+        )
+        self.resume_path = resume_path
 
         # Resolve ``auto`` eagerly: the resolved names are attributes (and
         # later CheckResult fields), never a silent mid-run decision.
@@ -137,13 +156,41 @@ class ModelChecker:
                 "(the simulate engine is bounded by its walk budgets instead)"
             )
 
+        # Resilience knobs: validated eagerly so a misconfigured chaos or
+        # checkpoint run fails before exploration, not silently no-ops.
+        if chaos is not None and not engine_cls.requires_registry(workers):
+            raise ValueError(
+                "chaos fault injection targets worker pools, but "
+                f"engine={self.resolved_engine!r} with workers={workers!r} "
+                "runs no pool; use the parallel engine (or simulate with "
+                "workers > 1)"
+            )
+        if (checkpoint_path or resume_path) and not engine_cls.supports_checkpoint:
+            raise ValueError(
+                f"the {self.resolved_engine} engine does not support "
+                "checkpoint/resume; use the fingerprint or parallel engine"
+            )
+        if checkpoint_path and self.resolved_store == "states":
+            raise ValueError(
+                "the 'states' store cannot be snapshot into a checkpoint; "
+                "use the fingerprint or lru store"
+            )
+
     # ------------------------------------------------------------------------
     def run(self) -> CheckResult:
-        """Explore the state space and return a :class:`CheckResult`."""
+        """Explore the state space and return a :class:`CheckResult`.
+
+        A ``KeyboardInterrupt`` during exploration is converted into
+        :class:`~repro.tla.errors.CheckInterrupted` carrying the partial
+        result (statistics of the explored prefix, plus the last checkpoint
+        path when the run was checkpointing), so an interrupted run reports
+        what it managed instead of vanishing into a traceback.
+        """
         result = CheckResult(
             spec_name=self.spec.name,
             engine=self.resolved_engine,
             store=self.resolved_store,
+            checkpoint_path=self.checkpoint_path,
         )
         ctx = CheckContext(
             spec=self.spec,
@@ -158,9 +205,27 @@ class ModelChecker:
             walks=self.walks,
             walk_depth=self.walk_depth,
             seed=self.seed,
+            supervision=self.supervision,
+            chaos=self.chaos,
+            checkpoint_path=self.checkpoint_path,
+            checkpoint_every=self.checkpoint_every,
+            store_capacity=self.store_capacity,
         )
+        if self.resume_path is not None:
+            self._restore(ctx, result)
         started = time.perf_counter()
-        get_engine(self.resolved_engine)().run(ctx)
+        try:
+            get_engine(self.resolved_engine)().run(ctx)
+        except KeyboardInterrupt:
+            result.duration_seconds = time.perf_counter() - started
+            result.interrupted = True
+            result.truncated = True
+            result.distinct_states = ctx.store.distinct_count
+            raise CheckInterrupted(
+                f"check of {self.spec.name!r} interrupted after "
+                f"{result.distinct_states} distinct states",
+                result=result,
+            ) from None
         result.duration_seconds = time.perf_counter() - started
 
         # Temporal properties ------------------------------------------------
@@ -174,6 +239,39 @@ class ModelChecker:
             for prop in self.spec.properties:
                 result.property_outcomes.append(result.graph.check_property(prop))
         return result
+
+    def _restore(self, ctx: CheckContext, result: CheckResult) -> None:
+        """Load ``resume_path`` into the context: store, parents, statistics.
+
+        The engine picks the restored frontier and depth up through
+        :meth:`CheckContext.start_frontier`; everything below that depth is
+        already reflected in the restored store and statistics.
+        """
+        assert self.resume_path is not None
+        checkpoint: Checkpoint = read_checkpoint(self.resume_path)
+        checkpoint.validate_for(
+            self.spec.name, self.spec.registry_ref, self.resolved_store
+        )
+        if (
+            self.store_capacity is not None
+            and checkpoint.store_capacity is not None
+            and checkpoint.store_capacity != self.store_capacity
+        ):
+            raise CheckerError(
+                f"checkpoint was taken with store_capacity="
+                f"{checkpoint.store_capacity}, but this run requests "
+                f"{self.store_capacity}; resuming would change eviction "
+                "behaviour and break the golden-stats contract"
+            )
+        ctx.store.restore(checkpoint.store_state)
+        ctx.parents.update(checkpoint.parents)
+        stats = checkpoint.stats
+        result.generated_states = stats.get("generated_states", 0)
+        result.max_depth = stats.get("max_depth", 0)
+        result.peak_frontier = stats.get("peak_frontier", 0)
+        result.action_counts = dict(stats.get("action_counts", {}))
+        result.resumed_from = self.resume_path
+        ctx.resume = (checkpoint.depth, checkpoint.frontier)
 
 
 def check_spec(
@@ -192,6 +290,11 @@ def check_spec(
     walks: int = 100,
     walk_depth: int = 50,
     seed: int = 0,
+    supervision: Optional[SupervisionConfig] = None,
+    chaos: Optional[FaultPlan] = None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: int = 0,
+    resume_path: Optional[str] = None,
 ) -> CheckResult:
     """Convenience wrapper: build a checker, run it, optionally raise.
 
@@ -213,6 +316,11 @@ def check_spec(
         walks=walks,
         walk_depth=walk_depth,
         seed=seed,
+        supervision=supervision,
+        chaos=chaos,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=checkpoint_every,
+        resume_path=resume_path,
     )
     result = checker.run()
     if raise_on_violation:

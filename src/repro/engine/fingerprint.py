@@ -14,7 +14,7 @@ capacity (accepting possible re-expansion of evicted states -- see
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from ..tla.state import State
 from .base import CheckContext, Engine, register_engine
@@ -30,14 +30,13 @@ class FingerprintEngine(Engine):
     supports_graph = False
     needs_registry = False
     supported_stores = ("fingerprint", "lru")
+    supports_checkpoint = True
 
     def run(self, ctx: CheckContext) -> None:
         spec, result, store = ctx.spec, ctx.result, ctx.store
-        action_counts: Dict[str, int] = {act.name: 0 for act in spec.actions}
-        frontier, stop = ctx.seed_frontier()
+        frontier, stop, depth, action_counts = ctx.start_frontier()
 
         # Breadth-first exploration, one depth level per batch --------------
-        depth = 0
         while frontier and not stop:
             if ctx.max_depth is not None and depth >= ctx.max_depth:
                 result.truncated = True
@@ -85,6 +84,8 @@ class FingerprintEngine(Engine):
             frontier = next_frontier
             result.peak_frontier = max(result.peak_frontier, len(frontier))
             depth += 1
+            if not stop:
+                ctx.maybe_checkpoint(depth, frontier, action_counts)
 
         result.distinct_states = store.distinct_count
         result.action_counts = action_counts

@@ -11,14 +11,27 @@ set, and any counterexample it finds coincide exactly with the serial
 rebuild it from its :attr:`~repro.tla.spec.Specification.registry_ref` (see
 :mod:`repro.tla.registry`), the way every TLC worker re-parses the ``.tla``
 module.
+
+Shards are dispatched through a :class:`~repro.resilience.SupervisedPool`
+rather than a bare ``ProcessPoolExecutor``: a crashed, hung or corrupted
+worker costs one bounded retry on a fresh worker instead of the whole run,
+and any shard that exhausts its retries is expanded *inline* by the
+coordinator -- the merge consumes results in shard order either way, so the
+bit-identical guarantee holds no matter which attempt (or fallback)
+produced each shard.  If the pool degrades entirely (too many consecutive
+failures), the remaining levels run serially in the coordinator with a
+logged warning rather than dying.  Since the engine is level-synchronous,
+it also honors checkpoint/resume through the shared
+:meth:`~repro.engine.base.CheckContext.start_frontier` /
+:meth:`~repro.engine.base.CheckContext.maybe_checkpoint` seam.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from ..resilience import SupervisedPool, TaskError
 from ..tla.spec import Specification
 from ..tla.state import State
 from ..tla.values import FingerprintCache
@@ -97,6 +110,7 @@ class ParallelEngine(Engine):
     supports_graph = False
     needs_registry = True
     supported_stores = ("fingerprint", "lru")
+    supports_checkpoint = True
 
     def run(self, ctx: CheckContext) -> None:
         spec, result, store = ctx.spec, ctx.result, ctx.store
@@ -104,24 +118,26 @@ class ParallelEngine(Engine):
         registry_name, params = spec.registry_ref
         workers = ctx.workers or default_worker_count()
         result.workers = workers
-        action_counts: Dict[str, int] = {act.name: 0 for act in spec.actions}
-        frontier, stop = ctx.seed_frontier()
+        frontier, stop, depth, action_counts = ctx.start_frontier()
         inline_verdicts: Dict[int, Tuple[Optional[str], bool]] = {}
 
-        depth = 0
-        pool: Optional[ProcessPoolExecutor] = None
+        pool: Optional[SupervisedPool] = None
+        pooling = True  # cleared for good once the pool degrades
         try:
             while frontier and not stop:
                 if ctx.max_depth is not None and depth >= ctx.max_depth:
                     result.truncated = True
                     break
-                if pool is None and len(frontier) >= workers * _INLINE_FRONTIER:
+                if pooling and pool is None and len(frontier) >= workers * _INLINE_FRONTIER:
                     from ..tla.registry import PROVIDER_MODULES
 
-                    pool = ProcessPoolExecutor(
-                        max_workers=workers,
+                    pool = SupervisedPool(
+                        workers,
                         initializer=_parallel_worker_init,
                         initargs=(registry_name, params, list(PROVIDER_MODULES)),
+                        config=ctx.supervision,
+                        chaos=ctx.chaos,
+                        name="parallel",
                     )
                 next_frontier: List[Tuple[State, int]] = []
                 for fp, entries in self._expand_level(
@@ -166,9 +182,19 @@ class ParallelEngine(Engine):
                 frontier = next_frontier
                 result.peak_frontier = max(result.peak_frontier, len(frontier))
                 depth += 1
+                if pool is not None and pool.degraded:
+                    # Too many consecutive pool failures: finish serially
+                    # in the coordinator rather than feeding a dead pool.
+                    result.supervision = pool.stats
+                    pool.shutdown()
+                    pool = None
+                    pooling = False
+                if not stop:
+                    ctx.maybe_checkpoint(depth, frontier, action_counts)
         finally:
             if pool is not None:
-                pool.shutdown(wait=True, cancel_futures=True)
+                result.supervision = pool.stats
+                pool.shutdown()
 
         result.distinct_states = store.distinct_count
         result.action_counts = action_counts
@@ -176,7 +202,7 @@ class ParallelEngine(Engine):
     def _expand_level(
         self,
         ctx: CheckContext,
-        pool: Optional[ProcessPoolExecutor],
+        pool: Optional[SupervisedPool],
         workers: int,
         frontier: List[Tuple[State, int]],
         verdicts: Dict[int, Tuple[Optional[str], bool]],
@@ -188,20 +214,40 @@ class ParallelEngine(Engine):
         more than computing their successors -- with results in the same
         shape the workers produce, so the merge loop cannot tell the
         difference.
+
+        A shard whose task exhausts its retries is likewise expanded inline:
+        ``expand_state`` is deterministic and results are consumed in shard
+        order, so the run's statistics and counterexamples are the same no
+        matter which attempt (worker or fallback) produced each shard.
         """
         spec = ctx.spec
-        if pool is None or len(frontier) < workers * _INLINE_FRONTIER:
+        if pool is None or pool.degraded or len(frontier) < workers * _INLINE_FRONTIER:
             for state, fp in frontier:
                 yield fp, expand_state(spec, ctx.cache, state, verdicts)
             return
 
         shard_size = -(-len(frontier) // workers)  # ceil division
-        futures = []
+        shards = []
+        tasks = []
         for start in range(0, len(frontier), shard_size):
             shard = [
                 (state.values, fp)
                 for state, fp in frontier[start : start + shard_size]
             ]
-            futures.append(pool.submit(_parallel_expand_shard, shard))
-        for future in futures:
-            yield from future.result()
+            shards.append(shard)
+            tasks.append(pool.submit(_parallel_expand_shard, (shard,)))
+        schema = spec.schema
+        for shard, task_index in zip(shards, tasks):
+            try:
+                yield from pool.result(task_index)
+            except TaskError:
+                for values, fp in shard:
+                    yield (
+                        fp,
+                        expand_state(
+                            spec,
+                            ctx.cache,
+                            State.from_values(schema, values),
+                            verdicts,
+                        ),
+                    )

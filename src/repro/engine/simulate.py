@@ -29,9 +29,9 @@ store, so the bounded ``lru`` store can cap memory on very long runs), and
 from __future__ import annotations
 
 import random
-from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..resilience import SupervisedPool, TaskError
 from ..tla.errors import DeadlockError, InvariantViolation
 from ..tla.spec import Specification
 from ..tla.state import State
@@ -278,24 +278,49 @@ class SimulationEngine(Engine):
         # Ceil division can yield fewer shards than requested workers (e.g.
         # 9 walks / 4 workers -> 3 shards of 3); report what actually runs.
         ctx.result.workers = len(bounds)
-        with ProcessPoolExecutor(
-            max_workers=len(bounds),
+        shards: List[Dict[str, Any]] = []
+        with SupervisedPool(
+            len(bounds),
             initializer=_parallel_worker_init,
             initargs=(registry_name, params, list(PROVIDER_MODULES)),
+            config=ctx.supervision,
+            chaos=ctx.chaos,
+            name="simulate",
         ) as pool:
-            futures = [
+            tasks = [
                 pool.submit(
                     _simulate_shard,
-                    start,
-                    stop,
-                    ctx.seed,
-                    ctx.walk_depth,
-                    ctx.check_deadlock,
-                    ctx.stop_on_violation,
+                    (
+                        start,
+                        stop,
+                        ctx.seed,
+                        ctx.walk_depth,
+                        ctx.check_deadlock,
+                        ctx.stop_on_violation,
+                    ),
                 )
                 for start, stop in bounds
             ]
-            return [future.result() for future in futures]
+            for (start, stop), task_index in zip(bounds, tasks):
+                try:
+                    shards.append(pool.result(task_index))
+                except TaskError:
+                    # A walk is a pure function of (spec, seed, index), so
+                    # recomputing an exhausted shard inline yields exactly
+                    # what its worker would have returned.
+                    shards.append(
+                        _drive_walks(
+                            spec,
+                            ctx.cache,
+                            range(start, stop),
+                            ctx.seed,
+                            ctx.walk_depth,
+                            ctx.check_deadlock,
+                            ctx.stop_on_violation,
+                        )
+                    )
+            ctx.result.supervision = pool.stats
+        return shards
 
     def _merge(self, ctx: CheckContext, shards: List[Dict[str, Any]]) -> None:
         spec, result, store = ctx.spec, ctx.result, ctx.store

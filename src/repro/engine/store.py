@@ -30,7 +30,7 @@ engine's default.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Dict, List, Optional, Protocol, Tuple
+from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
 
 from ..tla.state import State
 
@@ -71,6 +71,10 @@ class StateStore(Protocol):
     @property
     def distinct_count(self) -> int: ...
 
+    #: Whether the store can round-trip through ``snapshot``/``restore``
+    #: (the checkpoint/resume seam; see :mod:`repro.resilience.checkpoint`).
+    supports_snapshot: bool
+
 
 class FingerprintSetStore:
     """Unbounded in-memory set of 64-bit state fingerprints (the default)."""
@@ -78,6 +82,7 @@ class FingerprintSetStore:
     name = "fingerprint"
     retains_states = False
     exact = True
+    supports_snapshot = True
 
     def __init__(self) -> None:
         self._seen: set = set()
@@ -97,6 +102,14 @@ class FingerprintSetStore:
     @property
     def distinct_count(self) -> int:
         return len(self._seen)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Picklable visited-set contents for checkpointing."""
+        return {"seen": list(self._seen)}
+
+    def restore(self, data: Dict[str, Any]) -> None:
+        """Rebuild the visited set from a :meth:`snapshot` payload."""
+        self._seen = set(data["seen"])
 
 
 class BoundedLRUStore:
@@ -119,6 +132,7 @@ class BoundedLRUStore:
     name = "lru"
     retains_states = False
     exact = False
+    supports_snapshot = True
 
     def __init__(self, capacity: Optional[int] = None) -> None:
         if capacity is not None and capacity < 1:
@@ -150,6 +164,22 @@ class BoundedLRUStore:
     def distinct_count(self) -> int:
         return self._added
 
+    def snapshot(self) -> Dict[str, Any]:
+        """Entries in recency order plus the counters; picklable."""
+        return {
+            "seen": list(self._seen),
+            "added": self._added,
+            "evictions": self.evictions,
+            "capacity": self.capacity,
+        }
+
+    def restore(self, data: Dict[str, Any]) -> None:
+        """Rebuild set, recency order and counters from a snapshot."""
+        self.capacity = data["capacity"]
+        self._seen = OrderedDict((fp, None) for fp in data["seen"])
+        self._added = data["added"]
+        self.evictions = data["evictions"]
+
 
 class StateRetainingStore:
     """Every distinct state retained, keyed by value and assigned a dense id.
@@ -163,6 +193,10 @@ class StateRetainingStore:
     name = "states"
     retains_states = True
     exact = True
+    #: Retained State objects and the graph referencing them make this store
+    #: much heavier to snapshot than the fingerprint stores; the serial
+    #: ``states`` engine is therefore outside the checkpoint seam for now.
+    supports_snapshot = False
 
     def __init__(self) -> None:
         self._ids: Dict[State, int] = {}

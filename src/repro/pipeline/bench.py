@@ -10,15 +10,20 @@ stands after every PR: it times
 * random-walk simulation (the ``simulate`` engine) -- walks/sec, the
   throughput of the sampling path used when a state space is too large to
   exhaust,
-* batch trace checking with the ``thread`` and ``process`` executors, and
+* batch trace checking with the ``thread`` and ``process`` executors,
 * MBTCG test-case generation (every :mod:`repro.mbtcg` strategy) -- the
-  tests/sec and dedup-ratio trajectory of the generation workload,
+  tests/sec and dedup-ratio trajectory of the generation workload, and
+* chaos recovery (schema v4): the parallel engine under deterministic fault
+  injection (:mod:`repro.resilience.faults`) against its fault-free twin --
+  the wall-clock overhead of surviving injected worker crashes, slowdowns
+  and corrupt results, with a bit-identical statistics verdict per row,
 
 on the registered specification families, and writes one JSON document
-(``BENCH_results.json``, schema v3: every model-checking and simulation row
-records the *resolved* engine and visited-state store) with wall times,
-states/sec, walks/sec, traces/sec, tests/sec, peak frontier sizes and
-speedups relative to the serial ``fingerprint`` baseline.
+(``BENCH_results.json``) with wall times, states/sec, walks/sec, traces/sec,
+tests/sec, peak frontier sizes and speedups relative to the serial
+``fingerprint`` baseline.  The file is written atomically (temp file +
+rename), so a bench interrupted mid-write never leaves a truncated results
+document behind.
 CI runs ``python -m repro bench --smoke`` and uploads the JSON as an
 artifact, so the perf trajectory is recorded per commit.
 
@@ -39,15 +44,17 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..engine import check_spec
+from ..resilience import FaultPlan, SupervisionConfig, atomic_write_text
 from ..tla.registry import build_spec
 from .runner import check_traces
 from .workload import generate_workload
 
 __all__ = ["BenchConfig", "run_bench", "summarize", "write_results"]
 
-#: v3: model-checking rows carry the resolved ``store``; a ``simulation``
-#: stage (walks/sec for the ``simulate`` engine) joins the document.
-SCHEMA_VERSION = 3
+#: v4: a ``chaos`` stage joins the document (parallel checking under
+#: deterministic fault injection vs its fault-free twin).  v3 added the
+#: resolved ``store`` per row and the ``simulation`` stage.
+SCHEMA_VERSION = 4
 
 #: (registry name, params) pairs benchmarked by default.  The second locking
 #: configuration triples the thread count so the parallel engine has a state
@@ -90,6 +97,13 @@ class BenchConfig:
     generation_samples: int = 100
     sim_walks: int = 200
     sim_depth: int = 50
+    #: Chaos stage: fault-injection probability per (worker, task) and the
+    #: seed of the deterministic fault schedule.  ``hang`` is excluded from
+    #: the injected kinds -- every hang costs a full task timeout of wall
+    #: clock, which would measure the timeout setting, not recovery cost.
+    chaos_rate: float = 0.3
+    chaos_seed: int = 7
+    chaos_workers: int = 2
     smoke: bool = False
 
     @classmethod
@@ -236,6 +250,63 @@ def _time_generation(
     }
 
 
+def _time_chaos(
+    name: str, params: Dict[str, Any], workers: int, rate: float, seed: int
+) -> Dict[str, Any]:
+    """One chaos row: parallel checking under fault injection vs fault-free.
+
+    Both runs use the same engine, worker count and spec; the only difference
+    is the injected fault schedule.  ``bit_identical`` records whether every
+    statistic (and the verdict) survived the faults unchanged -- the
+    supervised pool's core promise.
+    """
+    spec = build_spec(name, **params)
+    baseline = check_spec(
+        spec, check_properties=False, engine="parallel", workers=workers
+    )
+    plan = FaultPlan(seed=seed, rate=rate, kinds=("crash", "slow", "corrupt"))
+    supervision = SupervisionConfig.from_env(backoff_base=0.01)
+    chaotic = check_spec(
+        build_spec(name, **params),
+        check_properties=False,
+        engine="parallel",
+        workers=workers,
+        chaos=plan,
+        supervision=supervision,
+    )
+
+    def stats_key(result: Any) -> Tuple[Any, ...]:
+        return (
+            result.distinct_states,
+            result.generated_states,
+            result.max_depth,
+            result.peak_frontier,
+            dict(result.action_counts),
+            result.ok,
+        )
+
+    base_wall = baseline.duration_seconds
+    chaos_wall = chaotic.duration_seconds
+    supervision_stats = (
+        chaotic.supervision.to_dict() if chaotic.supervision is not None else None
+    )
+    return {
+        "spec": name,
+        "params": params,
+        "label": _spec_label(name, params),
+        "workers": workers,
+        "chaos_rate": rate,
+        "chaos_seed": seed,
+        "chaos_kinds": list(plan.kinds),
+        "baseline_wall_seconds": round(base_wall, 6),
+        "chaos_wall_seconds": round(chaos_wall, 6),
+        "overhead_ratio": round(chaos_wall / base_wall, 3) if base_wall else None,
+        "bit_identical": stats_key(baseline) == stats_key(chaotic),
+        "supervision": supervision_stats,
+        "ok": chaotic.ok,
+    }
+
+
 def _attach_speedups(rows: List[Dict[str, Any]], baseline_of: Callable[[Dict[str, Any]], bool]) -> None:
     """Add ``speedup_vs_serial`` to every row, per spec label."""
     baselines: Dict[str, float] = {}
@@ -308,6 +379,17 @@ def run_bench(
         lambda row: row["executor"] == "thread" and row["workers"] == 1,
     )
 
+    chaos_rows: List[Dict[str, Any]] = []
+    for name, params in cfg.specs:
+        label = _spec_label(name, params)
+        say(
+            f"chaos {label} workers={cfg.chaos_workers} "
+            f"rate={cfg.chaos_rate} seed={cfg.chaos_seed}"
+        )
+        chaos_rows.append(
+            _time_chaos(name, params, cfg.chaos_workers, cfg.chaos_rate, cfg.chaos_seed)
+        )
+
     from ..mbtcg import STRATEGIES  # deferred: see _time_generation
 
     generation_rows: List[Dict[str, Any]] = []
@@ -370,14 +452,16 @@ def run_bench(
         "simulation": simulation_rows,
         "trace_checking": trace_rows,
         "test_generation": generation_rows,
+        "chaos": chaos_rows,
         "notes": notes,
     }
 
 
 def write_results(results: Dict[str, Any], path: str) -> None:
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(results, handle, indent=2, sort_keys=False)
-        handle.write("\n")
+    """Atomically persist the results document as pretty-printed JSON."""
+    atomic_write_text(
+        path, json.dumps(results, indent=2, sort_keys=False) + "\n"
+    )
 
 
 def summarize(results: Dict[str, Any]) -> str:
@@ -422,6 +506,19 @@ def summarize(results: Dict[str, Any]) -> str:
                 f"max_length={row['max_length']} {row['wall_seconds']:.3f}s  "
                 f"{row['tests']} tests  {row['tests_per_second']} t/s  "
                 f"dedup {row['dedup_ratio']}"
+            )
+    if results.get("chaos"):
+        lines.append("chaos recovery (parallel engine under fault injection):")
+        for row in results["chaos"]:
+            sup = row.get("supervision") or {}
+            verdict = "bit-identical" if row["bit_identical"] else "STATS DIVERGED"
+            lines.append(
+                f"  {row['label']:<28} rate={row['chaos_rate']} "
+                f"{row['chaos_wall_seconds']:.3f}s vs "
+                f"{row['baseline_wall_seconds']:.3f}s "
+                f"(x{row['overhead_ratio']})  "
+                f"{sup.get('retries', 0)} retried, "
+                f"{sup.get('crashes', 0)} crashes  [{verdict}]"
             )
     for note in results["notes"]:
         lines.append(f"note: {note}")

@@ -26,9 +26,10 @@ from typing import Optional, Sequence
 from ..engine import ENGINES, STORES, ModelChecker, check_spec
 from ..mbtcg import STRATEGIES, generate_suite, replay_corpus, write_corpus
 from ..mbtcg.emitters import write_log_suite, write_pytest_module
+from ..resilience import FAULT_KINDS, FaultPlan, SupervisionConfig
 from ..tla.coverage import CoverageReport, coverage_of_trace
 from ..tla.dot import to_dot
-from ..tla.errors import ReproError
+from ..tla.errors import CheckInterrupted, ReproError
 from ..tla.trace import check_trace, explain_failure
 from . import bench as bench_module
 from . import logs as log_module
@@ -106,6 +107,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check_p.add_argument("--max-states", type=int, default=None)
     check_p.add_argument("--max-depth", type=int, default=None)
+    check_p.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        default=None,
+        help="write a resumable snapshot of the BFS every --checkpoint-every "
+        "levels (fingerprint/parallel engines)",
+    )
+    check_p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="K",
+        help="levels between checkpoints (default: 1, i.e. every level)",
+    )
+    check_p.add_argument(
+        "--resume",
+        metavar="FILE",
+        default=None,
+        help="resume an interrupted run from a --checkpoint snapshot",
+    )
+    check_p.add_argument(
+        "--chaos-rate",
+        type=float,
+        default=None,
+        metavar="P",
+        help="inject worker faults (crash/hang/slow/corrupt) with probability "
+        "P per (worker, task); requires a pooled engine",
+    )
+    check_p.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        help="seed of the deterministic fault schedule (default: 0)",
+    )
+    check_p.add_argument(
+        "--chaos-kinds",
+        metavar="KIND[,KIND...]",
+        default=None,
+        help="comma-separated subset of crash,hang,slow,corrupt "
+        "(default: all)",
+    )
+    check_p.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task wall-clock budget of the supervised worker pool",
+    )
     check_p.add_argument("--deadlock", action="store_true", help="detect deadlocks")
     check_p.add_argument(
         "--no-properties", action="store_true", help="skip temporal properties"
@@ -166,6 +215,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--with-reachable",
         action="store_true",
         help="model-check first so coverage is a fraction of the reachable space",
+    )
+    sim_p.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="stop the batch at the first failed, errored or unexpected trace",
     )
 
     gen_p = sub.add_parser(
@@ -319,6 +373,50 @@ def _validate_check_args(args: argparse.Namespace) -> Optional[str]:
         )
     if args.store_capacity is not None and args.store != "lru":
         return f"--store-capacity applies only to --store lru, not {args.store!r}"
+    # A run pools workers when the engine is parallel, or simulate with an
+    # explicit multi-worker request -- the same predicate the coordinator's
+    # requires_registry check uses.
+    pooled = args.engine == "parallel" or (
+        args.engine == "simulate" and (args.workers or 1) > 1
+    )
+    if args.chaos_rate is not None and not pooled:
+        return (
+            "--chaos-rate injects faults into worker pools; use --engine "
+            "parallel (or --engine simulate with --workers > 1)"
+        )
+    if args.chaos_seed is not None and args.chaos_rate is None:
+        return "--chaos-seed has no effect without --chaos-rate"
+    if args.chaos_kinds is not None and args.chaos_rate is None:
+        return "--chaos-kinds has no effect without --chaos-rate"
+    if args.chaos_kinds is not None:
+        kinds = [part.strip() for part in args.chaos_kinds.split(",") if part.strip()]
+        bad = [kind for kind in kinds if kind not in FAULT_KINDS]
+        if bad or not kinds:
+            return (
+                f"--chaos-kinds must be a non-empty subset of "
+                f"{','.join(FAULT_KINDS)}; got {args.chaos_kinds!r}"
+            )
+    if args.chaos_rate is not None and not 0.0 < args.chaos_rate <= 1.0:
+        return f"--chaos-rate must be in (0, 1]; got {args.chaos_rate}"
+    if args.task_timeout is not None and not pooled:
+        return (
+            "--task-timeout tunes the supervised worker pool; use --engine "
+            "parallel (or --engine simulate with --workers > 1)"
+        )
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        return f"--task-timeout must be positive; got {args.task_timeout}"
+    checkpointing = args.checkpoint is not None or args.resume is not None
+    if checkpointing and args.engine not in ("auto", "fingerprint", "parallel"):
+        return (
+            "--checkpoint/--resume need a level-synchronous BFS engine; use "
+            f"--engine fingerprint or parallel, not {args.engine!r}"
+        )
+    if checkpointing and args.dot:
+        return "--checkpoint/--resume cannot be combined with --dot (state graph)"
+    if args.checkpoint_every is not None and args.checkpoint is None:
+        return "--checkpoint-every has no effect without --checkpoint"
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        return f"--checkpoint-every must be >= 1; got {args.checkpoint_every}"
     return None
 
 
@@ -335,6 +433,22 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print(f"note: {engine} engine skips temporal properties (needs the state graph)")
         check_properties = False
 
+    chaos = None
+    if args.chaos_rate is not None:
+        kinds = FAULT_KINDS
+        if args.chaos_kinds is not None:
+            kinds = tuple(
+                part.strip() for part in args.chaos_kinds.split(",") if part.strip()
+            )
+        chaos = FaultPlan(
+            seed=args.chaos_seed if args.chaos_seed is not None else 0,
+            rate=args.chaos_rate,
+            kinds=kinds,
+        )
+    supervision = None
+    if args.task_timeout is not None:
+        supervision = SupervisionConfig.from_env(task_timeout=args.task_timeout)
+
     def run():
         checker = ModelChecker(
             spec,
@@ -350,21 +464,50 @@ def _cmd_check(args: argparse.Namespace) -> int:
             walks=args.walks if args.walks is not None else 100,
             walk_depth=args.depth if args.depth is not None else 50,
             seed=args.seed if args.seed is not None else 0,
+            supervision=supervision,
+            chaos=chaos,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every or 0,
+            resume_path=args.resume,
         )
         return checker.run()
 
-    if args.memory_stats:
-        import tracemalloc
+    try:
+        if args.memory_stats:
+            import tracemalloc
 
-        tracemalloc.start()
-        result = run()
-        _current, peak = tracemalloc.get_traced_memory()
-        tracemalloc.stop()
-    else:
-        result = run()
-        peak = None
+            tracemalloc.start()
+            result = run()
+            _current, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+        else:
+            result = run()
+            peak = None
+    except CheckInterrupted as exc:
+        # Partial results are still results: report what the run managed and
+        # where it can be resumed from, then exit with the SIGINT code.
+        result = exc.result
+        print("interrupted; partial statistics follow", file=sys.stderr)
+        if result is not None:
+            print(result.summary())
+            if result.checkpoint_path:
+                print(
+                    f"resume with: repro check {args.spec} "
+                    f"--resume {result.checkpoint_path}"
+                )
+        return 130
 
     print(result.summary())
+    if result.resumed_from:
+        print(f"resumed from checkpoint {result.resumed_from}")
+    sup = result.supervision
+    if sup is not None and (sup.recoveries or sup.degraded):
+        print(
+            f"supervision: {sup.retries} retried attempt(s) "
+            f"({sup.crashes} crashes, {sup.hangs} hangs, "
+            f"{sup.corruptions} corrupt results, {sup.task_errors} task errors)"
+            + ("; pool degraded to serial" if sup.degraded else "")
+        )
     if result.truncated:
         print(
             "WARNING: exploration truncated by --max-states/--max-depth; "
@@ -477,6 +620,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         workers=args.workers,
         executor=args.executor,
         reachable_count=reachable,
+        fail_fast=args.fail_fast,
     )
     print(report.summary())
     for outcome in report.surprises[:10]:
@@ -485,6 +629,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"  UNEXPECTED trace #{outcome.index}: expected {expectation}, "
             f"got {'pass' if outcome.ok else 'fail'} {outcome.detail}"
         )
+    for outcome in report.errors[:10]:
+        print(f"  ERROR trace #{outcome.index}: {outcome.error}")
     if args.coverage_out and report.coverage is not None:
         merged = _merge_coverage_file(args.coverage_out, report.coverage)
         print("accumulated " + merged.summary())
@@ -618,6 +764,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except (ReproError, OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # The conventional 128 + SIGINT exit code; commands that can report
+        # partial progress (check) convert the interrupt before it gets here.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -17,16 +17,26 @@ This runner does that in-process, with two executors:
 
 Per-trace coverage reports are absorbed into one accumulator either way, and
 the result prints as a TLC-style summary.
+
+Robustness: a trace whose *check* raises (malformed input, a spec operator
+blowing up on an unreachable state) is recorded as an *error* outcome
+instead of killing the batch -- CI wants the other 9,999 verdicts plus one
+error entry, not a traceback -- unless ``fail_fast=True`` stops the batch at
+the first failed or errored trace.  The process executor dispatches through
+the supervised pool (:mod:`repro.resilience.supervisor`), so a crashed or
+hung worker costs one retried chunk, with an in-coordinator fallback when a
+chunk exhausts its retries.
 """
 
 from __future__ import annotations
 
 import time
 from collections import deque
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..resilience import SupervisedPool, SupervisionConfig, SupervisionStats, TaskError
 from ..tla import Specification, State
 from ..tla.coverage import CoverageReport, coverage_of_trace
 from ..tla.trace import SuccessorCache, TraceCheckResult, check_trace, explain_failure
@@ -53,10 +63,15 @@ class TraceOutcome:
     expected_ok: Optional[bool] = None
     fault: Optional[str] = None
     detail: str = ""
+    #: ``"ExceptionType: message"`` when checking this trace *raised* rather
+    #: than returning a verdict; such a trace is neither passed nor failed.
+    error: Optional[str] = None
 
     @property
     def surprising(self) -> bool:
         """True when the verdict contradicts the generator's expectation."""
+        if self.error is not None:
+            return False  # no verdict to contradict
         return self.expected_ok is not None and self.ok != self.expected_ok
 
 
@@ -70,12 +85,18 @@ class BatchReport:
     failed: int = 0
     surprises: List[TraceOutcome] = field(default_factory=list)
     failures: List[TraceOutcome] = field(default_factory=list)
+    #: Traces whose check raised instead of returning a verdict.
+    errors: List[TraceOutcome] = field(default_factory=list)
     coverage: Optional[CoverageReport] = None
     duration_seconds: float = 0.0
     workers: int = 1
     executor: str = "thread"
     cache_hits: int = 0
     cache_misses: int = 0
+    #: True when ``fail_fast`` stopped the batch before checking every trace.
+    stopped_early: bool = False
+    #: Supervised-pool statistics (process executor only; None otherwise).
+    supervision: Optional[SupervisionStats] = None
 
     @property
     def ok(self) -> bool:
@@ -83,8 +104,9 @@ class BatchReport:
 
         Labelled traces (from the workload generator) must pass or fail as
         predicted; an unlabelled trace (a plain state sequence) must pass.
+        A trace that *errored* produced no verdict at all, which is never ok.
         """
-        if self.surprises:
+        if self.surprises or self.errors:
             return False
         return all(outcome.expected_ok is not None for outcome in self.failures)
 
@@ -99,8 +121,10 @@ class BatchReport:
         """Multi-line TLC-style batch summary."""
         lines = [
             f"{self.spec_name}: checked {self.total} trace(s) with {self.workers} "
-            f"{self.executor} worker(s) in {self.duration_seconds:.2f}s",
+            f"{self.executor} worker(s) in {self.duration_seconds:.2f}s"
+            + ("  [stopped early: fail-fast]" if self.stopped_early else ""),
             f"  PASS {self.passed}  FAIL {self.failed}  "
+            f"ERROR {len(self.errors)}  "
             f"unexpected verdicts {len(self.surprises)}",
         ]
         if self.coverage is not None:
@@ -115,6 +139,14 @@ class BatchReport:
             lines.append(
                 f"  successor cache: {self.cache_hits}/{total_lookups} hits "
                 f"({self.cache_hits / total_lookups:.0%})"
+            )
+        sup = self.supervision
+        if sup is not None and (sup.recoveries or sup.degraded):
+            lines.append(
+                f"  supervision: {sup.retries} retried attempt(s) "
+                f"({sup.crashes} crashes, {sup.hangs} hangs, "
+                f"{sup.corruptions} corrupt results)"
+                + ("; pool degraded to serial" if sup.degraded else "")
             )
         return "\n".join(lines)
 
@@ -137,14 +169,29 @@ def _check_one(
     require_initial: bool,
     collect_coverage: bool,
 ) -> Tuple[TraceOutcome, Optional[CoverageReport]]:
-    """Check one trace; shared by the thread path and the process workers."""
-    result: TraceCheckResult = check_trace(
-        spec,
-        generated.states,
-        allow_stuttering=allow_stuttering,
-        require_initial=require_initial,
-        successor_cache=cache,
-    )
+    """Check one trace; shared by the thread path and the process workers.
+
+    An exception raised *by the check itself* (malformed trace item, a spec
+    operator blowing up) becomes an error outcome rather than propagating:
+    one bad trace must not take the other traces of a CI batch down with it.
+    """
+    try:
+        result: TraceCheckResult = check_trace(
+            spec,
+            generated.states,
+            allow_stuttering=allow_stuttering,
+            require_initial=require_initial,
+            successor_cache=cache,
+        )
+    except Exception as exc:  # noqa: BLE001 - recorded per trace, not fatal
+        outcome = TraceOutcome(
+            index=index,
+            ok=False,
+            expected_ok=generated.expect_ok if labelled else None,
+            fault=generated.fault,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+        return outcome, None
     coverage = None
     if collect_coverage:
         # Only validated states count: everything up to the failing
@@ -214,6 +261,10 @@ def _process_check_chunk(
     return results, (cache.hits - hits_before, cache.misses - misses_before)
 
 
+class _FailFastStop(Exception):
+    """Internal: raised by the consumer to stop a ``fail_fast`` batch."""
+
+
 def check_traces(
     spec: Specification,
     traces: Iterable[TraceLike],
@@ -224,6 +275,8 @@ def check_traces(
     require_initial: bool = True,
     reachable_count: Optional[int] = None,
     collect_coverage: bool = True,
+    fail_fast: bool = False,
+    supervision: Optional[SupervisionConfig] = None,
 ) -> BatchReport:
     """Check every trace against ``spec`` concurrently; return a :class:`BatchReport`.
 
@@ -233,6 +286,13 @@ def check_traces(
     ``CheckResult.distinct_states`` from a full model-checking run) turns
     merged coverage into a fraction of the reachable state space -- the number
     the paper says TLC cannot produce across runs.
+
+    ``fail_fast=True`` stops the batch at the first failed, errored or
+    surprising trace (``report.stopped_early`` records that the totals cover
+    a prefix of the workload).  ``supervision`` tunes the supervised worker
+    pool behind the process executor; chaos fault injection reaches that
+    pool through the ``REPRO_CHAOS_*`` environment (see
+    :meth:`repro.resilience.faults.FaultPlan.from_env`).
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -254,7 +314,9 @@ def check_traces(
 
     def consume(outcome: TraceOutcome, coverage: Optional[CoverageReport]) -> None:
         report.total += 1
-        if outcome.ok:
+        if outcome.error is not None:
+            report.errors.append(outcome)
+        elif outcome.ok:
             report.passed += 1
         else:
             report.failed += 1
@@ -263,86 +325,146 @@ def check_traces(
             report.surprises.append(outcome)
         if accumulator is not None and coverage is not None:
             accumulator.absorb(coverage)
+        if fail_fast and (outcome.error is not None or outcome.surprising or
+                          (not outcome.ok and outcome.expected_ok is None)):
+            raise _FailFastStop
 
     items = ((i, *_as_generated(t, i)) for i, t in enumerate(traces))
-    if executor == "thread":
-        cache = SuccessorCache(spec)
+    try:
+        if executor == "thread":
+            self_cache = SuccessorCache(spec)
 
-        def check_item(item: tuple) -> Tuple[TraceOutcome, Optional[CoverageReport]]:
-            index, generated, labelled = item
-            return _check_one(
+            def check_item(
+                item: tuple,
+            ) -> Tuple[TraceOutcome, Optional[CoverageReport]]:
+                index, generated, labelled = item
+                return _check_one(
+                    spec,
+                    self_cache,
+                    index,
+                    generated,
+                    labelled,
+                    allow_stuttering,
+                    require_initial,
+                    collect_coverage,
+                )
+
+            # Bounded submission window: Executor.map would eagerly turn the
+            # whole (possibly huge, generator-backed) workload into futures;
+            # this keeps at most a few batches of traces alive at once.
+            window: deque = deque()
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                for item in items:
+                    window.append(pool.submit(check_item, item))
+                    if len(window) >= workers * 4:
+                        consume(*window.popleft().result())
+                while window:
+                    consume(*window.popleft().result())
+            report.cache_hits = self_cache.hits
+            report.cache_misses = self_cache.misses
+        else:
+            _check_traces_process(
                 spec,
-                cache,
-                index,
-                generated,
-                labelled,
+                items,
+                workers,
                 allow_stuttering,
                 require_initial,
                 collect_coverage,
+                supervision,
+                report,
+                consume,
             )
-
-        # Bounded submission window: Executor.map would eagerly turn the whole
-        # (possibly huge, generator-backed) workload into futures; this keeps
-        # at most a few batches of traces alive at once.
-        window: deque = deque()
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            for item in items:
-                window.append(pool.submit(check_item, item))
-                if len(window) >= workers * 4:
-                    consume(*window.popleft().result())
-            while window:
-                consume(*window.popleft().result())
-        report.cache_hits = cache.hits
-        report.cache_misses = cache.misses
-    else:
-        from ..tla.registry import PROVIDER_MODULES
-
-        registry_name, params = spec.registry_ref  # type: ignore[misc]
-
-        def consume_chunk(future) -> None:
-            results, (hits, misses) = future.result()
-            for outcome, coverage in results:
-                consume(outcome, coverage)
-            report.cache_hits += hits
-            report.cache_misses += misses
-
-        window = deque()
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_process_worker_init,
-            initargs=(registry_name, params, list(PROVIDER_MODULES)),
-        ) as pool:
-            chunk: List[Tuple[int, GeneratedTrace, bool]] = []
-            for item in items:
-                chunk.append(item)
-                if len(chunk) >= _PROCESS_CHUNK:
-                    window.append(
-                        pool.submit(
-                            _process_check_chunk,
-                            chunk,
-                            allow_stuttering,
-                            require_initial,
-                            collect_coverage,
-                        )
-                    )
-                    chunk = []
-                    if len(window) >= workers * 4:
-                        consume_chunk(window.popleft())
-            if chunk:
-                window.append(
-                    pool.submit(
-                        _process_check_chunk,
-                        chunk,
-                        allow_stuttering,
-                        require_initial,
-                        collect_coverage,
-                    )
-                )
-            while window:
-                consume_chunk(window.popleft())
+    except _FailFastStop:
+        report.stopped_early = True
 
     if accumulator is not None:
         accumulator.trace_count = report.total
         report.coverage = accumulator
     report.duration_seconds = time.perf_counter() - started
     return report
+
+
+def _check_traces_process(
+    spec: Specification,
+    items: Iterable[Tuple[int, GeneratedTrace, bool]],
+    workers: int,
+    allow_stuttering: bool,
+    require_initial: bool,
+    collect_coverage: bool,
+    supervision: Optional[SupervisionConfig],
+    report: BatchReport,
+    consume,
+) -> None:
+    """The process-executor path: chunks through the supervised pool.
+
+    A chunk whose task exhausts its retries (or hits a degraded pool) is
+    rechecked inline in the coordinator with a lazily built fallback cache --
+    trace checking is deterministic, so the verdicts are exactly what the
+    worker would have produced.  ``consume`` may raise to stop the batch
+    (fail-fast); supervision statistics are recorded either way.
+    """
+    from ..tla.registry import PROVIDER_MODULES
+
+    registry_name, params = spec.registry_ref  # type: ignore[misc]
+    fallback_cache: Optional[SuccessorCache] = None
+
+    pool = SupervisedPool(
+        workers,
+        initializer=_process_worker_init,
+        initargs=(registry_name, params, list(PROVIDER_MODULES)),
+        config=supervision,
+        name="runner",
+    )
+
+    def consume_chunk(task_index: int, chunk: List[Tuple[int, GeneratedTrace, bool]]) -> None:
+        nonlocal fallback_cache
+        try:
+            results, (hits, misses) = pool.result(task_index)
+        except TaskError:
+            if fallback_cache is None:
+                fallback_cache = SuccessorCache(spec)
+            hits_before = fallback_cache.hits
+            misses_before = fallback_cache.misses
+            results = [
+                _check_one(
+                    spec,
+                    fallback_cache,
+                    index,
+                    generated,
+                    labelled,
+                    allow_stuttering,
+                    require_initial,
+                    collect_coverage,
+                )
+                for index, generated, labelled in chunk
+            ]
+            hits = fallback_cache.hits - hits_before
+            misses = fallback_cache.misses - misses_before
+        report.cache_hits += hits
+        report.cache_misses += misses
+        for outcome, coverage in results:
+            consume(outcome, coverage)
+
+    def submit(chunk: List[Tuple[int, GeneratedTrace, bool]]) -> int:
+        return pool.submit(
+            _process_check_chunk,
+            (chunk, allow_stuttering, require_initial, collect_coverage),
+        )
+
+    window: deque = deque()  # of (task_index, chunk)
+    try:
+        chunk: List[Tuple[int, GeneratedTrace, bool]] = []
+        for item in items:
+            chunk.append(item)
+            if len(chunk) >= _PROCESS_CHUNK:
+                window.append((submit(chunk), chunk))
+                chunk = []
+                if len(window) >= workers * 4:
+                    consume_chunk(*window.popleft())
+        if chunk:
+            window.append((submit(chunk), chunk))
+        while window:
+            consume_chunk(*window.popleft())
+    finally:
+        report.supervision = pool.stats
+        pool.shutdown()

@@ -1,0 +1,53 @@
+"""Fault-tolerant checking runtime: supervision, checkpointing, chaos.
+
+The runtime robustness layer under the execution paths of the reproduction.
+Three pieces, each usable on its own:
+
+* :mod:`repro.resilience.supervisor` -- :class:`SupervisedPool`, a worker
+  process pool with crash detection, per-task timeouts, heartbeat-based
+  hang detection, checksummed result envelopes, bounded retry with
+  exponential backoff and graceful degradation to the caller's serial path.
+  The parallel BFS engine, the sharded simulation engine and the batch
+  trace runner all dispatch through it.
+* :mod:`repro.resilience.checkpoint` -- periodic atomic snapshots of a BFS
+  run (visited store, frontier, parent map, stats) and the resume path that
+  continues an interrupted run to bit-identical final statistics; plus the
+  atomic-write helpers shared with the bench harness.
+* :mod:`repro.resilience.faults` -- :class:`FaultPlan`, the deterministic
+  seeded chaos layer that injects worker crashes, hangs, slowdowns and
+  corrupt results keyed on ``(worker_id, task_index)``, so every recovery
+  path above is exercised reproducibly in tests, in CI and in the bench's
+  chaos stage.
+"""
+
+from .checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    atomic_write_bytes,
+    atomic_write_text,
+    read_checkpoint,
+    write_checkpoint,
+)
+from .faults import CHAOS_EXIT_CODE, FAULT_KINDS, FaultPlan
+from .supervisor import (
+    SupervisedPool,
+    SupervisionConfig,
+    SupervisionStats,
+    TaskError,
+)
+
+__all__ = [
+    "CHAOS_EXIT_CODE",
+    "Checkpoint",
+    "CheckpointError",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "SupervisedPool",
+    "SupervisionConfig",
+    "SupervisionStats",
+    "TaskError",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "read_checkpoint",
+    "write_checkpoint",
+]

@@ -93,6 +93,20 @@ class StateSpaceLimitExceeded(CheckerError):
     """The checker hit its configured state or time budget before finishing."""
 
 
+class CheckInterrupted(CheckerError):
+    """A check was interrupted (Ctrl-C) before exploration finished.
+
+    Raised by :meth:`repro.engine.core.ModelChecker.run` in place of the bare
+    ``KeyboardInterrupt`` so callers get the partial :attr:`result` (whatever
+    statistics had accumulated, plus the last checkpoint path when the run
+    was checkpointing) instead of losing the run entirely.
+    """
+
+    def __init__(self, message: str, *, result: Optional[object] = None) -> None:
+        super().__init__(message)
+        self.result = result
+
+
 class TraceCheckError(ReproError):
     """Base class for trace-checking (MBTC) failures."""
 

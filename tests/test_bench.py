@@ -21,7 +21,7 @@ def smoke_results():
 
 
 def test_results_document_shape(smoke_results):
-    assert smoke_results["schema_version"] == 3
+    assert smoke_results["schema_version"] == 4
     env = smoke_results["environment"]
     assert env["cpu_count"] >= 1 and env["python"]
     # 2 specs x (states + fingerprint + 2 parallel worker counts)
@@ -51,6 +51,14 @@ def test_results_document_shape(smoke_results):
         assert row["tests"] > 0
         assert 0.0 < row["dedup_ratio"] <= 1.0
         assert row["coverage_pairs"] > 0
+    # schema v4: one chaos row per spec config, fault-free parity confirmed
+    assert len(smoke_results["chaos"]) == 2
+    for row in smoke_results["chaos"]:
+        assert row["ok"]
+        assert row["bit_identical"], f"chaos run diverged on {row['label']}"
+        assert row["chaos_rate"] > 0
+        assert row["baseline_wall_seconds"] > 0
+        assert row["chaos_wall_seconds"] > 0
 
 
 def test_bench_is_a_cross_engine_parity_witness(smoke_results):
@@ -86,6 +94,7 @@ def test_write_results_and_summarize(tmp_path, smoke_results):
     assert "model checking" in digest and "batch trace checking" in digest
     assert "random-walk simulation" in digest
     assert "MBTCG test generation" in digest
+    assert "chaos recovery" in digest
 
 
 def test_cli_bench_smoke_writes_json(tmp_path, capsys):

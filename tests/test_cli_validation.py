@@ -42,6 +42,75 @@ from repro.pipeline.cli import main
             ["check", "locking", "--store", "fingerprint", "--store-capacity", "9"],
             "--store-capacity",
         ),
+        # ISSUE 6: chaos flags need a worker pool to inject faults into.
+        (["check", "locking", "--chaos-rate", "0.3"], "--chaos-rate"),
+        (
+            ["check", "locking", "--engine", "fingerprint", "--chaos-rate", "0.3"],
+            "--chaos-rate",
+        ),
+        (
+            ["check", "locking", "--engine", "simulate", "--chaos-rate", "0.3"],
+            "--chaos-rate",
+        ),
+        (
+            ["check", "locking", "--engine", "parallel", "--chaos-seed", "7"],
+            "--chaos-seed",
+        ),
+        (
+            ["check", "locking", "--engine", "parallel", "--chaos-kinds", "crash"],
+            "--chaos-kinds",
+        ),
+        (
+            [
+                "check",
+                "locking",
+                "--engine",
+                "parallel",
+                "--chaos-rate",
+                "0.3",
+                "--chaos-kinds",
+                "crash,meteor",
+            ],
+            "--chaos-kinds",
+        ),
+        (
+            ["check", "locking", "--engine", "parallel", "--chaos-rate", "1.5"],
+            "--chaos-rate",
+        ),
+        (
+            ["check", "locking", "--engine", "parallel", "--chaos-rate", "0"],
+            "--chaos-rate",
+        ),
+        (["check", "locking", "--task-timeout", "5"], "--task-timeout"),
+        (
+            ["check", "locking", "--engine", "parallel", "--task-timeout", "-1"],
+            "--task-timeout",
+        ),
+        # Checkpointing needs a level-synchronous BFS engine and no --dot.
+        (
+            ["check", "locking", "--engine", "simulate", "--checkpoint", "x.ckpt"],
+            "--checkpoint",
+        ),
+        (
+            ["check", "locking", "--engine", "states", "--resume", "x.ckpt"],
+            "--resume",
+        ),
+        (
+            ["check", "locking", "--dot", "g.dot", "--checkpoint", "x.ckpt"],
+            "--checkpoint",
+        ),
+        (["check", "locking", "--checkpoint-every", "2"], "--checkpoint-every"),
+        (
+            [
+                "check",
+                "locking",
+                "--checkpoint",
+                "x.ckpt",
+                "--checkpoint-every",
+                "0",
+            ],
+            "--checkpoint-every",
+        ),
     ],
 )
 def test_inconsistent_flags_exit_2(capsys, argv, needle):

@@ -9,6 +9,7 @@ replay must survive the frontier being sharded across processes.
 import pytest
 
 import widecounter_spec  # noqa: F401 - registers _test_widecounter + its provider
+from repro.resilience import FaultPlan, SupervisionConfig
 from repro.tla import ModelChecker, check_spec
 from repro.tla.errors import CheckerError
 from repro.tla.registry import build_spec
@@ -49,6 +50,67 @@ def test_parallel_stats_match_fingerprint_and_states(name, params):
         retained.action_counts,
     )
     assert parallel.ok and serial.ok and retained.ok
+
+
+@pytest.mark.parametrize("name,params", REGISTERED_CONFIGS)
+def test_parallel_chaos_stats_match_fault_free_serial(name, params):
+    """ISSUE 6 acceptance: 30% injected worker faults change nothing.
+
+    Crashes, slowdowns and corrupt results (hangs excluded: each one costs a
+    full task timeout) are injected deterministically; supervision retries on
+    fresh workers and, if a shard exhausts its retries, the engine recomputes
+    it inline -- so the statistics must stay bit-identical to a fault-free
+    serial run.
+    """
+    serial = check_spec(build_spec(name, **params), check_properties=False)
+    chaotic = check_spec(
+        build_spec(name, **params),
+        check_properties=False,
+        engine="parallel",
+        workers=2,
+        chaos=FaultPlan(seed=7, rate=0.3, kinds=("crash", "slow", "corrupt")),
+        supervision=SupervisionConfig.from_env(backoff_base=0.01),
+    )
+    assert chaotic.ok and serial.ok
+    assert _stats(chaotic) == _stats(serial)
+
+
+def test_parallel_chaos_counterexample_survives_faults():
+    spec = build_spec("_test_widecounter", invariant_bound=8)
+    serial = check_spec(spec, check_properties=False, engine="fingerprint")
+    chaotic = check_spec(
+        build_spec("_test_widecounter", invariant_bound=8),
+        check_properties=False,
+        engine="parallel",
+        workers=2,
+        chaos=FaultPlan(seed=3, rate=0.3, kinds=("crash", "corrupt")),
+        supervision=SupervisionConfig.from_env(backoff_base=0.01),
+    )
+    assert chaotic.invariant_violation is not None
+    assert [tuple(s.values) for s in chaotic.invariant_violation.trace] == [
+        tuple(s.values) for s in serial.invariant_violation.trace
+    ]
+
+
+def test_cli_check_supports_chaos_flags(capsys):
+    from repro.pipeline.cli import main
+
+    code = main(
+        [
+            "check",
+            "locking",
+            "--engine",
+            "parallel",
+            "--workers",
+            "2",
+            "--chaos-rate",
+            "0.3",
+            "--chaos-seed",
+            "7",
+        ]
+    )
+    assert code == 0
+    assert "544 distinct states" in capsys.readouterr().out
 
 
 def test_parallel_counterexample_trace_is_identical():

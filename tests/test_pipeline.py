@@ -180,6 +180,35 @@ class TestBatchRunner:
         rejected = check_traces(locking_spec, [[bad_state]], workers=1)
         assert rejected.coverage.visited_count == 0
 
+    def test_checker_exception_becomes_error_outcome(self, locking_spec):
+        # A malformed item (42 is neither a State nor a mapping) makes
+        # check_trace raise; the runner must capture that as an error entry
+        # instead of killing the whole batch (ISSUE 6 satellite).
+        good = generate_trace(locking_spec, random.Random(1), min_steps=4, max_steps=6)
+        initial = locking_spec.initial_states()[0]
+        report = check_traces(locking_spec, [good.states, [initial, 42]], workers=1)
+        assert report.total == 2
+        assert report.passed == 1 and report.failed == 0
+        assert len(report.errors) == 1
+        assert not report.ok
+        error = report.errors[0]
+        assert error.error and "TypeError" in error.error
+        assert not error.surprising  # errors are their own bucket
+        assert "ERROR 1" in report.summary()
+
+    def test_fail_fast_stops_after_first_error(self, locking_spec):
+        initial = locking_spec.initial_states()[0]
+        good = generate_trace(locking_spec, random.Random(2), min_steps=4, max_steps=6)
+        traces = [[initial, 42]] + [good.states] * 5
+        report = check_traces(locking_spec, traces, workers=1, fail_fast=True)
+        assert report.stopped_early
+        assert len(report.errors) == 1
+        assert report.total < 6
+        assert "fail-fast" in report.summary()
+        # Without the flag the whole batch still runs.
+        full = check_traces(locking_spec, traces, workers=1)
+        assert full.total == 6 and not full.stopped_early
+
 
 class TestRegistryAndCli:
     def test_parse_params_coerces_types(self):

@@ -39,6 +39,32 @@ def test_process_executor_merges_cache_stats():
     assert "process worker(s)" in report.summary()
 
 
+def test_process_executor_recovers_from_env_chaos(monkeypatch):
+    """REPRO_CHAOS_* reaches the runner's pool; verdicts stay identical."""
+    from repro.resilience import SupervisionConfig
+
+    spec = build_spec("locking")
+    workload = _workload(spec, n=40)
+    baseline = check_traces(spec, workload, workers=2, executor="process")
+    monkeypatch.setenv("REPRO_CHAOS_RATE", "0.3")
+    monkeypatch.setenv("REPRO_CHAOS_SEED", "5")
+    monkeypatch.setenv("REPRO_CHAOS_KINDS", "crash,corrupt")
+    chaotic = check_traces(
+        spec,
+        workload,
+        workers=2,
+        executor="process",
+        supervision=SupervisionConfig(backoff_base=0.01),
+    )
+    assert (chaotic.total, chaotic.passed, chaotic.failed) == (
+        baseline.total,
+        baseline.passed,
+        baseline.failed,
+    )
+    assert [o.index for o in chaotic.failures] == [o.index for o in baseline.failures]
+    assert chaotic.supervision is not None and chaotic.supervision.tasks > 0
+
+
 def test_process_executor_requires_registry_ref(locking_spec):
     assert locking_spec.registry_ref is None
     with pytest.raises(ValueError, match="registry"):
