@@ -16,7 +16,11 @@ out of.  One exploration strategy per module, all registered by name:
 Visited-state storage is a second, independent seam
 (:mod:`repro.engine.store`): engines accept any registered store they
 declare compatible, so memory behaviour (exact set, state-retaining,
-bounded LRU) is chosen per run without touching engine code.
+bounded LRU, exact disk-backed) is chosen per run without touching engine
+code.  Million-state runs pair the ``disk`` store
+(:mod:`repro.engine.diskstore`) with spill-to-disk frontiers
+(:mod:`repro.engine.frontier`) so peak RSS stays flat as distinct-state
+counts climb orders of magnitude.
 
 Execution robustness is a third seam (:mod:`repro.resilience`): the pooled
 engines dispatch through a supervised worker pool (crash/hang detection,
@@ -45,8 +49,10 @@ from .base import (
     get_engine,
     register_engine,
 )
+from .frontier import SpillFrontier
 from .store import (
     BoundedLRUStore,
+    DiskFingerprintStore,
     FingerprintSetStore,
     StateRetainingStore,
     StateStore,
@@ -67,6 +73,7 @@ __all__ = [
     "BoundedLRUStore",
     "CheckContext",
     "CheckResult",
+    "DiskFingerprintStore",
     "ENGINES",
     "Engine",
     "FingerprintEngine",
@@ -76,6 +83,7 @@ __all__ = [
     "STORES",
     "SerialStatesEngine",
     "SimulationEngine",
+    "SpillFrontier",
     "StateRetainingStore",
     "StateStore",
     "check_spec",

@@ -29,6 +29,7 @@ from ..tla.graph import PropertyCheckOutcome, StateGraph
 from ..tla.spec import Specification
 from ..tla.state import State
 from ..tla.values import FingerprintCache
+from .frontier import SpillFrontier
 
 __all__ = [
     "CheckContext",
@@ -138,6 +139,19 @@ class CheckResult:
     #: True when the run was cut short by KeyboardInterrupt; the statistics
     #: cover only the explored prefix (like a truncated run).
     interrupted: bool = False
+    #: Fingerprints the visited store forgot (bounded stores only).  When
+    #: non-zero, ``distinct_states`` is an *upper bound*, not an exact count
+    #: -- the summary and CLI label it accordingly.
+    store_evictions: int = 0
+    #: False when the resolved store is inexact *and* actually evicted; an
+    #: lru run that never filled its capacity still reports exact counts.
+    store_exact: bool = True
+    #: Wall-clock seconds the store spent on disk I/O (0 for in-memory
+    #: stores); the bench harness classifies store-bound vs CPU-bound with it.
+    store_io_seconds: float = 0.0
+    #: States the BFS frontiers spilled to compressed disk chunks (0 when
+    #: spilling never triggered or is disabled).
+    frontier_spilled_states: int = 0
 
     @property
     def ok(self) -> bool:
@@ -159,8 +173,17 @@ class CheckResult:
         if self.engine == "simulate":
             resolved += f"({self.walks} walks)"
         resolved += f" store={self.store}"
+        if self.store_exact:
+            distinct = f"{self.distinct_states} distinct states"
+        else:
+            # A bounded store that evicted cannot count exactly: re-added
+            # evictees count again, so the total is only an upper bound.
+            distinct = (
+                f"<={self.distinct_states} distinct states (upper bound; "
+                f"{self.store_evictions} evicted)"
+            )
         return (
-            f"{self.spec_name}: {status}; {self.distinct_states} distinct states, "
+            f"{self.spec_name}: {status}; {distinct}, "
             f"{self.generated_states} states generated, depth {self.max_depth}, "
             f"{self.duration_seconds:.2f}s [{resolved}]"
         )
@@ -206,13 +229,37 @@ class CheckContext:
     #: ``checkpoint_every`` completed BFS levels (0 disables).
     checkpoint_path: Optional[str] = None
     checkpoint_every: int = 0
-    #: The ``lru`` store capacity of this run (recorded into checkpoints).
+    #: The store capacity of this run (recorded into checkpoints): the lru
+    #: store's bound, or the disk store's write-back cache size.
     store_capacity: Optional[int] = None
+    #: The disk store's database path (recorded for operator messages).
+    store_path: Optional[str] = None
+    #: Frontier entries kept in memory before a BFS level spills to
+    #: compressed disk chunks; None disables spilling (plain lists).
+    spill_threshold: Optional[int] = None
     #: Set by the coordinator when resuming: ``(depth, wire frontier)`` --
     #: the next level to expand and its pending frontier as value tuples.
     resume: Optional[Tuple[int, List[Tuple[Tuple[Any, ...], int]]]] = None
 
     # Shared fingerprint-BFS helpers -----------------------------------------
+    def new_frontier(self):
+        """An empty next-level frontier: a plain list, or a spilling buffer.
+
+        Both support ``append((state, fp))``, ``len``, truthiness and
+        in-order iteration -- the only operations the BFS engines perform --
+        so the engines stay oblivious to whether a level lives in memory or
+        in compressed chunks on disk.
+        """
+        if self.spill_threshold is None:
+            return []
+        return SpillFrontier(self.spec.schema, threshold=self.spill_threshold)
+
+    def note_frontier(self, frontier: Any) -> None:
+        """Fold one consumed level's spill statistics into the result."""
+        spilled = getattr(frontier, "spilled_states", 0)
+        if spilled:
+            self.result.frontier_spilled_states += spilled
+
     def fp_violation(self, fp: int, inv_name: str) -> InvariantViolation:
         """Build an :class:`InvariantViolation` with a replayed trace."""
         return InvariantViolation(
@@ -299,6 +346,13 @@ class CheckContext:
         if depth % self.checkpoint_every != 0:
             return
         result = self.result
+        # A store that owns its parent map on disk (the disk store) snapshots
+        # it by sequence number instead of copying millions of entries into
+        # the checkpoint pickle.
+        if hasattr(self.parents, "checkpoint_payload"):
+            parents_payload = self.parents.checkpoint_payload()
+        else:
+            parents_payload = dict(self.parents)
         checkpoint = Checkpoint(
             spec_name=self.spec.name,
             registry_ref=self.spec.registry_ref,
@@ -307,7 +361,7 @@ class CheckContext:
             depth=depth,
             frontier=[(state.values, fp) for state, fp in frontier],
             store_state=self.store.snapshot(),
-            parents=dict(self.parents),
+            parents=parents_payload,
             stats={
                 "generated_states": result.generated_states,
                 "max_depth": result.max_depth,

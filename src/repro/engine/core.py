@@ -26,6 +26,7 @@ from ..tla.errors import (
 )
 from ..tla.spec import Specification
 from .base import CheckContext, CheckResult, engine_names, get_engine
+from .frontier import DEFAULT_SPILL_THRESHOLD
 from .store import make_store, store_names
 
 __all__ = ["ModelChecker", "check_spec"]
@@ -48,6 +49,8 @@ class ModelChecker:
         workers: Optional[int] = None,
         store: str = "auto",
         store_capacity: Optional[int] = None,
+        store_path: Optional[str] = None,
+        spill_threshold: Optional[int] = None,
         walks: int = 100,
         walk_depth: int = 50,
         seed: int = 0,
@@ -86,6 +89,7 @@ class ModelChecker:
         self.walk_depth = walk_depth
         self.seed = seed
         self.store_capacity = store_capacity
+        self.store_path = store_path
         self.supervision = supervision
         self.chaos = chaos
         self.checkpoint_path = checkpoint_path
@@ -140,10 +144,33 @@ class ModelChecker:
                 f"the {self.resolved_engine} engine supports stores "
                 f"{engine_cls.supported_stores}; got {store!r}"
             )
-        if store_capacity is not None and self.resolved_store != "lru":
+        if store_capacity is not None and self.resolved_store not in ("lru", "disk"):
             raise ValueError(
-                "store_capacity only applies to the bounded 'lru' store"
+                "store_capacity only applies to the bounded 'lru' store and "
+                "the 'disk' store's write-back cache"
             )
+        if store_path is not None and self.resolved_store != "disk":
+            raise ValueError(
+                "store_path only applies to the file-backed 'disk' store; "
+                "pass store='disk' with it"
+            )
+        if spill_threshold is not None and spill_threshold < 1:
+            raise ValueError("spill_threshold must be >= 1")
+        if spill_threshold is not None and not engine_cls.supports_checkpoint:
+            raise ValueError(
+                f"the {self.resolved_engine} engine has no level-synchronous "
+                "BFS frontier to spill; spill_threshold applies to the "
+                "fingerprint and parallel engines"
+            )
+        if spill_threshold is not None:
+            self.spill_threshold: Optional[int] = spill_threshold
+        elif self.resolved_store == "disk" and engine_cls.supports_checkpoint:
+            # A disk-store run is by definition the "state space will not fit
+            # in memory" regime, and there the frontier is the next-largest
+            # resident consumer -- so spilling defaults on with the store.
+            self.spill_threshold = DEFAULT_SPILL_THRESHOLD
+        else:
+            self.spill_threshold = None
         if (
             self.resolved_store == "lru"
             and not engine_cls.bounded_exploration
@@ -175,6 +202,17 @@ class ModelChecker:
                 "the 'states' store cannot be snapshot into a checkpoint; "
                 "use the fingerprint or lru store"
             )
+        if (
+            (checkpoint_path or resume_path)
+            and self.resolved_store == "disk"
+            and not store_path
+        ):
+            raise ValueError(
+                "checkpoint/resume with the disk store requires store_path: "
+                "the checkpoint records only the database's identity and "
+                "high-water mark, and an ephemeral temp database disappears "
+                "with the process"
+            )
 
     # ------------------------------------------------------------------------
     def run(self) -> CheckResult:
@@ -192,10 +230,13 @@ class ModelChecker:
             store=self.resolved_store,
             checkpoint_path=self.checkpoint_path,
         )
+        store = make_store(
+            self.resolved_store, capacity=self.store_capacity, path=self.store_path
+        )
         ctx = CheckContext(
             spec=self.spec,
             result=result,
-            store=make_store(self.resolved_store, capacity=self.store_capacity),
+            store=store,
             collect_graph=self.collect_graph,
             check_deadlock=self.check_deadlock,
             max_states=self.max_states,
@@ -210,7 +251,14 @@ class ModelChecker:
             checkpoint_path=self.checkpoint_path,
             checkpoint_every=self.checkpoint_every,
             store_capacity=self.store_capacity,
+            store_path=self.store_path,
+            spill_threshold=self.spill_threshold,
         )
+        if hasattr(store, "parent_map"):
+            # The disk store owns the counterexample parent map too: the
+            # parent map is the *other* per-distinct-state memory consumer,
+            # so leaving it in a dict would defeat the store's flat RSS.
+            ctx.parents = store.parent_map()
         if self.resume_path is not None:
             self._restore(ctx, result)
         started = time.perf_counter()
@@ -226,6 +274,8 @@ class ModelChecker:
                 f"{result.distinct_states} distinct states",
                 result=result,
             ) from None
+        finally:
+            self._finalize_store(ctx, result)
         result.duration_seconds = time.perf_counter() - started
 
         # Temporal properties ------------------------------------------------
@@ -240,6 +290,25 @@ class ModelChecker:
                 result.property_outcomes.append(result.graph.check_property(prop))
         return result
 
+    @staticmethod
+    def _finalize_store(ctx: CheckContext, result: CheckResult) -> None:
+        """Fold store statistics into the result and release the store.
+
+        Runs on every exit path (success, interrupt, engine failure): the
+        eviction count decides whether ``distinct_states`` is exact, and the
+        disk store must flush/close so a persistent database is complete on
+        disk (and an ephemeral one is deleted).
+        """
+        store = ctx.store
+        result.store_evictions = getattr(store, "evictions", 0)
+        result.store_exact = (
+            bool(getattr(store, "exact", True)) or result.store_evictions == 0
+        )
+        result.store_io_seconds = getattr(store, "io_seconds", 0.0)
+        close = getattr(store, "close", None)
+        if close is not None:
+            close()
+
     def _restore(self, ctx: CheckContext, result: CheckResult) -> None:
         """Load ``resume_path`` into the context: store, parents, statistics.
 
@@ -253,10 +322,15 @@ class ModelChecker:
             self.spec.name, self.spec.registry_ref, self.resolved_store
         )
         if (
-            self.store_capacity is not None
+            self.resolved_store == "lru"
+            and self.store_capacity is not None
             and checkpoint.store_capacity is not None
             and checkpoint.store_capacity != self.store_capacity
         ):
+            # lru only: its capacity decides *which* states are forgotten, so
+            # changing it mid-run changes results.  The disk store's capacity
+            # is just a write-back cache size -- resuming under a different
+            # one is harmless.
             raise CheckerError(
                 f"checkpoint was taken with store_capacity="
                 f"{checkpoint.store_capacity}, but this run requests "
@@ -287,6 +361,8 @@ def check_spec(
     workers: Optional[int] = None,
     store: str = "auto",
     store_capacity: Optional[int] = None,
+    store_path: Optional[str] = None,
+    spill_threshold: Optional[int] = None,
     walks: int = 100,
     walk_depth: int = 50,
     seed: int = 0,
@@ -313,6 +389,8 @@ def check_spec(
         workers=workers,
         store=store,
         store_capacity=store_capacity,
+        store_path=store_path,
+        spill_threshold=spill_threshold,
         walks=walks,
         walk_depth=walk_depth,
         seed=seed,

@@ -1,0 +1,511 @@
+"""The disk-backed fingerprint store: million-state visited sets on SQLite.
+
+TLC escapes toy scale by swapping its in-memory fingerprint set for a
+disk-backed one; this module is that store for the reproduction.  A
+:class:`DiskFingerprintStore` keeps the full visited set in a single SQLite
+file while holding only three bounded structures in memory:
+
+* a **write-back cache** of pending adds, flushed to the database in
+  batches (one multi-row ``INSERT`` per flush instead of one per state),
+* a **hot read cache** (bounded LRU) of fingerprints known to be on disk,
+  which absorbs the BFS locality of duplicate successors, and
+* a **Bloom filter** over everything ever added, so the overwhelmingly
+  common case -- a genuinely new fingerprint -- never touches the disk at
+  all.  The filter has no false negatives, so it can prove absence; a
+  positive falls through to an indexed ``SELECT``.
+
+The store is *exact* (unlike the bounded ``lru`` store): ``add`` returns
+True exactly once per fingerprint and ``distinct_count`` is the true
+distinct-state count, so the golden-stats parity with the in-memory
+``fingerprint`` store holds bit for bit.
+
+Because replay back-pointers are the other per-state memory consumer, the
+store also owns the run's **parent map** (``fp -> (parent fp, action)``)
+in a second table of the same database, exposed through
+:meth:`DiskFingerprintStore.parent_map`; the coordinator wires it into
+:attr:`repro.engine.base.CheckContext.parents` so peak RSS stays flat no
+matter how many distinct states the run accumulates.
+
+Checkpointing does not serialize the visited set at all.  Every row
+carries a monotonically increasing sequence number; ``snapshot()`` flushes
+the caches and returns a tiny identity header ``(path, identity token,
+sequence high-water mark, counters)``.  ``restore()`` validates the token
+against the database the resuming run opened (resuming against the wrong
+file is an error, not garbage) and deletes every row newer than the
+snapshot's high-water mark -- rewinding the on-disk set to the exact
+checkpoint point, which is what keeps resumed runs bit-identical.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import tempfile
+from collections import OrderedDict
+from time import perf_counter
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from ..tla.errors import CheckerError
+
+__all__ = ["DEFAULT_WRITE_CACHE", "DiskFingerprintStore", "DiskStoreError"]
+
+#: Pending adds buffered in memory before a batched flush to SQLite.
+DEFAULT_WRITE_CACHE = 50_000
+
+#: Bounded LRU of fingerprints known present on disk (absorbs the BFS
+#: locality of duplicate successors without re-querying SQLite).
+HOT_CACHE_ENTRIES = 500_000
+
+#: Bloom filter size in bits (a power of two; 1 << 25 bits = 4 MiB).  At two
+#: probes per key the false-positive rate stays ~1.5% out to two million
+#: fingerprints -- i.e. ~98.5% of genuinely-new adds never touch the disk.
+BLOOM_BITS = 1 << 25
+
+_IDENTITY_BYTES = 8
+
+#: ``meta`` marker distinguishing our databases from arbitrary SQLite files.
+_MAGIC = "repro-disk-store-v1"
+
+
+class DiskStoreError(CheckerError):
+    """The disk store file is missing, foreign, or from a different run."""
+
+
+def _to_signed(fp: int) -> int:
+    """Map an unsigned 64-bit fingerprint into SQLite's signed INTEGER."""
+    return fp - 0x1_0000_0000_0000_0000 if fp >= 0x8000_0000_0000_0000 else fp
+
+
+def _to_unsigned(fp: int) -> int:
+    return fp + 0x1_0000_0000_0000_0000 if fp < 0 else fp
+
+
+class _Bloom:
+    """Two-probe Bloom filter over 64-bit fingerprints; no false negatives."""
+
+    __slots__ = ("_bits", "_mask")
+
+    def __init__(self, bits: int = BLOOM_BITS) -> None:
+        self._bits = bytearray(bits >> 3)
+        self._mask = bits - 1
+
+    def add(self, fp: int) -> None:
+        bits, mask = self._bits, self._mask
+        for pos in (fp & mask, (fp >> 29) & mask):
+            bits[pos >> 3] |= 1 << (pos & 7)
+
+    def might_contain(self, fp: int) -> bool:
+        bits, mask = self._bits, self._mask
+        pos = fp & mask
+        if not bits[pos >> 3] & (1 << (pos & 7)):
+            return False
+        pos = (fp >> 29) & mask
+        return bool(bits[pos >> 3] & (1 << (pos & 7)))
+
+
+class _DiskParentMap:
+    """Dict-shaped facade over the store's ``parents`` table.
+
+    Only the operations the engines and the checkpoint seam actually use are
+    provided (``[]=``, ``setdefault``, ``[]``, ``update``).  Writes go to the
+    store's write-back buffer and flush with it; reads hit the buffer first
+    and fall back to an indexed ``SELECT`` (the read path only runs during
+    counterexample replay, a handful of lookups per trace).
+
+    ``setdefault`` trusts its caller the way the engines use it: entries are
+    only ever inserted for fingerprints the (exact) disk store just reported
+    as new, so no existence probe is issued on the write path.
+    """
+
+    __slots__ = ("_store",)
+
+    def __init__(self, store: "DiskFingerprintStore") -> None:
+        self._store = store
+
+    def __setitem__(
+        self, fp: int, pair: Tuple[Optional[int], Optional[str]]
+    ) -> None:
+        self._store._parent_put(fp, pair)
+
+    def setdefault(
+        self, fp: int, pair: Tuple[Optional[int], Optional[str]]
+    ) -> Tuple[Optional[int], Optional[str]]:
+        return self._store._parent_setdefault(fp, pair)
+
+    def __getitem__(self, fp: int) -> Tuple[Optional[int], Optional[str]]:
+        return self._store._parent_get(fp)
+
+    def __len__(self) -> int:
+        return self._store._parent_count()
+
+    def update(
+        self, entries: Dict[int, Tuple[Optional[int], Optional[str]]]
+    ) -> None:
+        for fp, pair in entries.items():
+            self._store._parent_put(fp, pair)
+
+    def checkpoint_payload(self) -> Dict[int, Tuple[Optional[int], Optional[str]]]:
+        """What goes into ``Checkpoint.parents``: nothing.
+
+        The parent map already lives in the store's database file and is
+        rewound by sequence number on restore, exactly like the fingerprint
+        table; duplicating millions of entries into the checkpoint pickle
+        would defeat the point of a disk-backed run.
+        """
+        self._store.flush()
+        return {}
+
+
+class DiskFingerprintStore:
+    """Exact 64-bit fingerprint set persisted in a SQLite file.
+
+    ``path=None`` creates an ephemeral database in the system temp directory,
+    removed again on :meth:`close` -- fine for one-shot runs.  Checkpointed
+    runs must name a path (``--store-path``): the file *is* the visited set,
+    and resume reopens it.
+
+    ``capacity`` sizes the write-back cache (pending adds per flush batch),
+    not the store -- the store itself is unbounded and exact.
+    """
+
+    name = "disk"
+    retains_states = False
+    exact = True
+    supports_snapshot = True
+    #: Eviction never happens (the set is exact); present for the
+    #: bounded-store reporting seam.
+    evictions = 0
+
+    def __init__(
+        self, capacity: Optional[int] = None, path: Optional[str] = None
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("store capacity must be >= 1")
+        self.cache_size = capacity or DEFAULT_WRITE_CACHE
+        self._ephemeral = path is None
+        if path is None:
+            fd, path = tempfile.mkstemp(prefix="repro-disk-store-", suffix=".sqlite")
+            os.close(fd)
+            os.unlink(path)  # let SQLite create it from scratch
+        self.path = os.path.abspath(path)
+        self._conn = sqlite3.connect(self.path)
+        try:
+            # The first PRAGMA reads the file header, so a non-SQLite file
+            # fails here -- before any schema work touches it.
+            self._conn.execute("PRAGMA journal_mode=OFF")
+        except sqlite3.DatabaseError as exc:
+            self._conn.close()
+            self._conn = None  # type: ignore[assignment]
+            raise DiskStoreError(
+                f"{self.path!r} exists but is not a SQLite database: {exc}"
+            ) from exc
+        self._conn.execute("PRAGMA synchronous=OFF")
+        self._conn.execute("PRAGMA cache_size=-16384")  # 16 MiB page cache
+
+        self._pending: Dict[int, int] = {}  # fp -> seq, not yet flushed
+        self._parent_pending: Dict[
+            int, Tuple[Optional[int], Optional[str], int]
+        ] = {}
+        self._hot: "OrderedDict[int, None]" = OrderedDict()
+        self._bloom = _Bloom()
+        self._seq = 0
+        self._added = 0
+        self._parents_added = 0
+        #: Wall-clock seconds spent inside SQLite (lookups, flushes, restore
+        #: scans); the bench harness uses it to classify a run as
+        #: store-bound vs CPU-bound.
+        self.io_seconds = 0.0
+        self.flushes = 0
+
+        existing = self._load_header()
+        if existing is None:
+            self._reset()
+            self._stale = False
+        else:
+            # A valid store file from an earlier run: keep its contents until
+            # we learn whether this run resumes from it (restore()) or starts
+            # fresh (first mutation wipes it).
+            self.identity = existing
+            self._stale = True
+
+    # -- database plumbing ---------------------------------------------------
+    def _load_header(self) -> Optional[str]:
+        """Identity token of a valid existing store file, else None."""
+        try:
+            rows = dict(
+                self._conn.execute("SELECT key, value FROM meta").fetchall()
+            )
+        except sqlite3.DatabaseError:
+            # No meta table: acceptable only for a brand-new empty database.
+            # A populated database belonging to something else must not be
+            # silently adopted (and later wiped).
+            objects = self._conn.execute(
+                "SELECT count(*) FROM sqlite_master"
+            ).fetchone()[0]
+            if objects:
+                raise DiskStoreError(
+                    f"{self.path!r} is a SQLite database but not a repro "
+                    "disk fingerprint store"
+                ) from None
+            return None
+        if rows.get("magic") != _MAGIC:
+            raise DiskStoreError(
+                f"{self.path!r} is a SQLite database but not a repro disk "
+                "fingerprint store"
+            )
+        return rows["identity"]
+
+    def _reset(self) -> None:
+        """(Re-)initialize the schema with a fresh identity; drops all rows."""
+        conn = self._conn
+        conn.executescript(
+            """
+            CREATE TABLE IF NOT EXISTS meta(key TEXT PRIMARY KEY, value TEXT);
+            CREATE TABLE IF NOT EXISTS fps(fp INTEGER PRIMARY KEY, seq INTEGER NOT NULL);
+            CREATE TABLE IF NOT EXISTS parents(
+                fp INTEGER PRIMARY KEY, parent INTEGER, action TEXT,
+                seq INTEGER NOT NULL);
+            DELETE FROM fps; DELETE FROM parents; DELETE FROM meta;
+            """
+        )
+        self.identity = os.urandom(_IDENTITY_BYTES).hex()
+        conn.executemany(
+            "INSERT INTO meta(key, value) VALUES(?, ?)",
+            [("magic", _MAGIC), ("identity", self.identity)],
+        )
+        conn.commit()
+
+    def _ensure_fresh(self) -> None:
+        """First mutation of a run that did not restore(): wipe stale rows."""
+        if self._stale:
+            self._reset()
+            self._seq = self._added = self._parents_added = 0
+            self._stale = False
+
+    # -- the StateStore contract ---------------------------------------------
+    def add(self, fp: int) -> bool:
+        self._ensure_fresh()
+        pending = self._pending
+        if fp in pending:
+            return False
+        hot = self._hot
+        if fp in hot:
+            hot.move_to_end(fp)
+            return False
+        if self._bloom.might_contain(fp) and self._on_disk(fp):
+            self._hot_put(fp)
+            return False
+        self._bloom.add(fp)
+        self._seq += 1
+        pending[fp] = self._seq
+        self._added += 1
+        if len(pending) >= self.cache_size:
+            self.flush()
+        return True
+
+    def __contains__(self, fp: int) -> bool:
+        if fp in self._pending or fp in self._hot:
+            return True
+        if not self._bloom.might_contain(fp):
+            return False
+        return self._on_disk(fp)
+
+    def __len__(self) -> int:
+        return self._added
+
+    @property
+    def distinct_count(self) -> int:
+        return self._added
+
+    def _on_disk(self, fp: int) -> bool:
+        started = perf_counter()
+        row = self._conn.execute(
+            "SELECT 1 FROM fps WHERE fp = ?", (_to_signed(fp),)
+        ).fetchone()
+        self.io_seconds += perf_counter() - started
+        return row is not None
+
+    def _hot_put(self, fp: int) -> None:
+        hot = self._hot
+        hot[fp] = None
+        if len(hot) > HOT_CACHE_ENTRIES:
+            hot.popitem(last=False)
+
+    def flush(self) -> None:
+        """Write both pending buffers to the database in one batch."""
+        if not self._pending and not self._parent_pending:
+            return
+        started = perf_counter()
+        conn = self._conn
+        if self._pending:
+            conn.executemany(
+                "INSERT OR IGNORE INTO fps(fp, seq) VALUES(?, ?)",
+                [(_to_signed(fp), seq) for fp, seq in self._pending.items()],
+            )
+            for fp in self._pending:
+                self._hot_put(fp)
+            self._pending.clear()
+        if self._parent_pending:
+            conn.executemany(
+                "INSERT OR REPLACE INTO parents(fp, parent, action, seq) "
+                "VALUES(?, ?, ?, ?)",
+                [
+                    (
+                        _to_signed(fp),
+                        None if parent is None else _to_signed(parent),
+                        action,
+                        seq,
+                    )
+                    for fp, (parent, action, seq) in self._parent_pending.items()
+                ],
+            )
+            self._parent_pending.clear()
+        conn.commit()
+        self.flushes += 1
+        self.io_seconds += perf_counter() - started
+
+    # -- the parent-map seam -------------------------------------------------
+    def parent_map(self) -> _DiskParentMap:
+        """The run's replay parent map, living in this database."""
+        return _DiskParentMap(self)
+
+    def _parent_put(
+        self, fp: int, pair: Tuple[Optional[int], Optional[str]]
+    ) -> None:
+        self._ensure_fresh()
+        self._seq += 1
+        if fp not in self._parent_pending and not self._parent_on_disk_raw(fp):
+            self._parents_added += 1
+        self._parent_pending[fp] = (pair[0], pair[1], self._seq)
+
+    def _parent_setdefault(
+        self, fp: int, pair: Tuple[Optional[int], Optional[str]]
+    ) -> Tuple[Optional[int], Optional[str]]:
+        self._ensure_fresh()
+        existing = self._parent_pending.get(fp)
+        if existing is not None:
+            return existing[0], existing[1]
+        # No disk probe: see _DiskParentMap -- the engines only insert for
+        # fingerprints the exact store just accepted, so fp cannot be on disk.
+        self._seq += 1
+        self._parent_pending[fp] = (pair[0], pair[1], self._seq)
+        self._parents_added += 1
+        return pair
+
+    def _parent_get(self, fp: int) -> Tuple[Optional[int], Optional[str]]:
+        entry = self._parent_pending.get(fp)
+        if entry is not None:
+            return entry[0], entry[1]
+        started = perf_counter()
+        row = self._conn.execute(
+            "SELECT parent, action FROM parents WHERE fp = ?", (_to_signed(fp),)
+        ).fetchone()
+        self.io_seconds += perf_counter() - started
+        if row is None:
+            raise KeyError(fp)
+        parent = None if row[0] is None else _to_unsigned(row[0])
+        return parent, row[1]
+
+    def _parent_on_disk_raw(self, fp: int) -> bool:
+        row = self._conn.execute(
+            "SELECT 1 FROM parents WHERE fp = ?", (_to_signed(fp),)
+        ).fetchone()
+        return row is not None
+
+    def _parent_count(self) -> int:
+        return self._parents_added
+
+    # -- checkpoint seam -----------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Tiny identity header instead of the (huge) set contents.
+
+        The fingerprints and parents stay where they already are -- in the
+        database file -- and the header pins which file, which incarnation of
+        it, and how far (sequence high-water mark) the snapshot reaches.
+        """
+        if self._stale:
+            # Snapshotting a store nothing was added to yet: start it fresh
+            # so the header's identity matches what later adds will extend.
+            self._ensure_fresh()
+        self.flush()
+        return {
+            "kind": "disk",
+            "path": self.path,
+            "identity": self.identity,
+            "seq": self._seq,
+            "added": self._added,
+            "parents_added": self._parents_added,
+        }
+
+    def restore(self, data: Dict[str, Any]) -> None:
+        """Rewind the opened database to a :meth:`snapshot` header.
+
+        Validates the identity token (the snapshot must describe *this*
+        file's incarnation), then deletes every row with a sequence number
+        beyond the snapshot's high-water mark: adds performed after the
+        checkpoint -- by the run that was interrupted -- vanish, so the
+        resumed exploration replays them itself and stays bit-identical.
+        """
+        if data.get("kind") != "disk":
+            raise DiskStoreError(
+                "checkpoint does not hold a disk-store snapshot header"
+            )
+        if not self._stale:
+            raise DiskStoreError(
+                f"checkpoint references disk store {data['path']!r} "
+                f"(identity {data['identity']}), but {self.path!r} is a "
+                "freshly created store; point --store-path at the original "
+                "store file"
+            )
+        if data["identity"] != self.identity:
+            raise DiskStoreError(
+                f"checkpoint was taken against disk store identity "
+                f"{data['identity']} but {self.path!r} holds identity "
+                f"{self.identity}; this is not the store file of the "
+                "checkpointed run"
+            )
+        started = perf_counter()
+        conn = self._conn
+        conn.execute("DELETE FROM fps WHERE seq > ?", (data["seq"],))
+        conn.execute("DELETE FROM parents WHERE seq > ?", (data["seq"],))
+        conn.commit()
+        self._seq = data["seq"]
+        self._added = data["added"]
+        self._parents_added = data.get("parents_added", 0)
+        self._pending.clear()
+        self._parent_pending.clear()
+        self._hot.clear()
+        self._bloom = _Bloom()
+        for (signed,) in conn.execute("SELECT fp FROM fps"):
+            self._bloom.add(_to_unsigned(signed))
+        self.io_seconds += perf_counter() - started
+        self._stale = False
+
+    # -- lifecycle -----------------------------------------------------------
+    def iter_fingerprints(self) -> Iterable[int]:
+        """All fingerprints currently in the store (flushes first); for tests."""
+        self.flush()
+        for (signed,) in self._conn.execute("SELECT fp FROM fps ORDER BY seq"):
+            yield _to_unsigned(signed)
+
+    def close(self) -> None:
+        """Flush, release the connection, and delete ephemeral files."""
+        if self._conn is None:
+            return
+        try:
+            if not self._stale:
+                self.flush()
+        finally:
+            self._conn.close()
+            self._conn = None  # type: ignore[assignment]
+            if self._ephemeral:
+                try:
+                    os.unlink(self.path)
+                except OSError:
+                    pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

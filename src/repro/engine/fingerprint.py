@@ -7,16 +7,17 @@ only on the current and next BFS frontier, so peak memory is bounded by the
 widest level rather than the whole reachable space.
 
 The visited set itself is pluggable: the default ``fingerprint`` store is an
-exact in-memory set, while the bounded ``lru`` store caps memory at a fixed
-capacity (accepting possible re-expansion of evicted states -- see
-:mod:`repro.engine.store`).
+exact in-memory set, the bounded ``lru`` store caps memory at a fixed
+capacity (accepting possible re-expansion of evicted states), and the exact
+``disk`` store pushes the set into a SQLite file behind a write-back cache
+(see :mod:`repro.engine.store` and :mod:`repro.engine.diskstore`).  Frontier
+levels, the other per-scale memory consumer, can spill to compressed disk
+chunks past a threshold (:mod:`repro.engine.frontier`) -- together that
+keeps peak RSS flat into the millions of distinct states.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
-
-from ..tla.state import State
 from .base import CheckContext, Engine, register_engine
 
 __all__ = ["FingerprintEngine"]
@@ -29,7 +30,7 @@ class FingerprintEngine(Engine):
     name = "fingerprint"
     supports_graph = False
     needs_registry = False
-    supported_stores = ("fingerprint", "lru")
+    supported_stores = ("fingerprint", "lru", "disk")
     supports_checkpoint = True
 
     def run(self, ctx: CheckContext) -> None:
@@ -41,7 +42,7 @@ class FingerprintEngine(Engine):
             if ctx.max_depth is not None and depth >= ctx.max_depth:
                 result.truncated = True
                 break
-            next_frontier: List[Tuple[State, int]] = []
+            next_frontier = ctx.new_frontier()
             for state, fp in frontier:
                 if ctx.max_states is not None and store.distinct_count >= ctx.max_states:
                     result.truncated = True
@@ -81,7 +82,10 @@ class FingerprintEngine(Engine):
                         next_frontier.append((nxt, nfp))
                 if stop:
                     break
+            if hasattr(frontier, "close"):
+                frontier.close()  # drop the consumed level's spill file early
             frontier = next_frontier
+            ctx.note_frontier(frontier)
             result.peak_frontier = max(result.peak_frontier, len(frontier))
             depth += 1
             if not stop:

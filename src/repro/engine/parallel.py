@@ -28,6 +28,7 @@ it also honors checkpoint/resume through the shared
 
 from __future__ import annotations
 
+import itertools
 import os
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
@@ -109,7 +110,7 @@ class ParallelEngine(Engine):
     name = "parallel"
     supports_graph = False
     needs_registry = True
-    supported_stores = ("fingerprint", "lru")
+    supported_stores = ("fingerprint", "lru", "disk")
     supports_checkpoint = True
 
     def run(self, ctx: CheckContext) -> None:
@@ -139,7 +140,7 @@ class ParallelEngine(Engine):
                         chaos=ctx.chaos,
                         name="parallel",
                     )
-                next_frontier: List[Tuple[State, int]] = []
+                next_frontier = ctx.new_frontier()
                 for fp, entries in self._expand_level(
                     ctx, pool, workers, frontier, inline_verdicts
                 ):
@@ -179,7 +180,10 @@ class ParallelEngine(Engine):
                             )
                     if stop:
                         break
+                if hasattr(frontier, "close"):
+                    frontier.close()  # drop the consumed level's spill file
                 frontier = next_frontier
+                ctx.note_frontier(frontier)
                 result.peak_frontier = max(result.peak_frontier, len(frontier))
                 depth += 1
                 if pool is not None and pool.degraded:
@@ -229,11 +233,16 @@ class ParallelEngine(Engine):
         shard_size = -(-len(frontier) // workers)  # ceil division
         shards = []
         tasks = []
-        for start in range(0, len(frontier), shard_size):
+        # Build shards by streaming the frontier rather than slicing it:
+        # a spilled frontier (SpillFrontier) is iterable but not indexable.
+        pairs = iter(frontier)
+        while True:
             shard = [
                 (state.values, fp)
-                for state, fp in frontier[start : start + shard_size]
+                for state, fp in itertools.islice(pairs, shard_size)
             ]
+            if not shard:
+                break
             shards.append(shard)
             tasks.append(pool.submit(_parallel_expand_shard, (shard,)))
         schema = spec.schema

@@ -228,7 +228,7 @@ class SimulationEngine(Engine):
     name = "simulate"
     supports_graph = False
     needs_registry = False
-    supported_stores = ("fingerprint", "lru")
+    supported_stores = ("fingerprint", "lru", "disk")
     #: Walk x depth budgets bound exploration, so a forgetful (lru) store
     #: needs no extra max_states/max_depth here.
     bounded_exploration = True

@@ -19,11 +19,17 @@ and never cares how the answer is represented.  Three stores ship:
   bounded some other way (``max_states``/``max_depth``, or the walk budgets
   of the ``simulate`` engine) and ``distinct_states`` becomes an upper
   bound rather than an exact count.
+* ``"disk"`` -- :class:`repro.engine.diskstore.DiskFingerprintStore`: the
+  full visited set lives in a SQLite file behind a write-back cache and a
+  Bloom filter, so million-state runs keep a flat memory profile while the
+  count stays *exact* (unlike ``lru``).  Takes a ``path`` (the CLI's
+  ``--store-path``); ``capacity`` sizes its write-back cache.
 
 Stores are registered by name (:func:`register_store`) so a new backend --
-a disk-backed set, a Bloom filter -- is a one-file addition; engines declare
-which stores they accept (:attr:`repro.engine.base.Engine.supported_stores`)
-and :func:`repro.engine.core.ModelChecker` resolves ``store="auto"`` to the
+an mmap'd hash file, a Bloom filter -- is a one-file addition; engines
+declare which stores they accept
+(:attr:`repro.engine.base.Engine.supported_stores`) and
+:func:`repro.engine.core.ModelChecker` resolves ``store="auto"`` to the
 engine's default.
 """
 
@@ -32,11 +38,14 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
 
+from ..tla.errors import CheckerError
 from ..tla.state import State
+from .diskstore import DiskFingerprintStore
 
 __all__ = [
     "BoundedLRUStore",
     "DEFAULT_LRU_CAPACITY",
+    "DiskFingerprintStore",
     "FingerprintSetStore",
     "StateRetainingStore",
     "StateStore",
@@ -138,6 +147,9 @@ class BoundedLRUStore:
         if capacity is not None and capacity < 1:
             raise ValueError("store capacity must be >= 1")
         self.capacity = capacity or DEFAULT_LRU_CAPACITY
+        #: Whether the capacity was requested explicitly (vs the default);
+        #: restore() refuses to silently override an explicit request.
+        self.explicit_capacity = capacity is not None
         self._seen: "OrderedDict[int, None]" = OrderedDict()
         self._added = 0
         self.evictions = 0
@@ -174,8 +186,26 @@ class BoundedLRUStore:
         }
 
     def restore(self, data: Dict[str, Any]) -> None:
-        """Rebuild set, recency order and counters from a snapshot."""
-        self.capacity = data["capacity"]
+        """Rebuild set, recency order and counters from a snapshot.
+
+        A snapshot records the capacity it was taken with, and eviction
+        order depends on it, so resuming under a *different* capacity would
+        silently change which states the store forgets -- breaking the
+        golden-stats contract.  An explicitly requested capacity that
+        disagrees with the snapshot is therefore an error (the caller must
+        drop the flag or match the snapshot); a defaulted capacity simply
+        adopts the snapshot's.
+        """
+        snapshot_capacity = data["capacity"]
+        if self.explicit_capacity and snapshot_capacity != self.capacity:
+            raise CheckerError(
+                f"snapshot was taken with store capacity {snapshot_capacity}, "
+                f"but this run explicitly requests {self.capacity}; resuming "
+                "under a different capacity would change eviction behaviour "
+                "-- drop --store-capacity to adopt the snapshot's, or pass "
+                f"--store-capacity {snapshot_capacity}"
+            )
+        self.capacity = snapshot_capacity
         self._seen = OrderedDict((fp, None) for fp in data["seen"])
         self._added = data["added"]
         self.evictions = data["evictions"]
@@ -234,11 +264,17 @@ class StateRetainingStore:
         return len(self._by_id)
 
 
-_STORES: Dict[str, Callable[[Optional[int]], object]] = {}
+_STORES: Dict[str, Callable[[Optional[int], Optional[str]], object]] = {}
 
 
-def register_store(name: str, factory: Callable[[Optional[int]], object]) -> None:
-    """Register a store backend; ``factory(capacity)`` builds one instance."""
+def register_store(
+    name: str, factory: Callable[[Optional[int], Optional[str]], object]
+) -> None:
+    """Register a store backend; ``factory(capacity, path)`` builds one.
+
+    ``path`` is the on-disk location for file-backed stores (the CLI's
+    ``--store-path``); purely in-memory backends ignore it.
+    """
     _STORES[name] = factory
 
 
@@ -247,16 +283,19 @@ def store_names() -> Tuple[str, ...]:
     return tuple(_STORES)
 
 
-def make_store(name: str, *, capacity: Optional[int] = None):
+def make_store(
+    name: str, *, capacity: Optional[int] = None, path: Optional[str] = None
+):
     """Instantiate a registered store by name."""
     try:
         factory = _STORES[name]
     except KeyError:
         known = ", ".join(store_names())
         raise ValueError(f"unknown store {name!r}; expected one of: {known}") from None
-    return factory(capacity)
+    return factory(capacity, path)
 
 
-register_store("fingerprint", lambda capacity: FingerprintSetStore())
-register_store("states", lambda capacity: StateRetainingStore())
-register_store("lru", lambda capacity: BoundedLRUStore(capacity))
+register_store("fingerprint", lambda capacity, path: FingerprintSetStore())
+register_store("states", lambda capacity, path: StateRetainingStore())
+register_store("lru", lambda capacity, path: BoundedLRUStore(capacity))
+register_store("disk", lambda capacity, path: DiskFingerprintStore(capacity, path))

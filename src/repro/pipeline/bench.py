@@ -16,7 +16,12 @@ stands after every PR: it times
 * chaos recovery (schema v4): the parallel engine under deterministic fault
   injection (:mod:`repro.resilience.faults`) against its fault-free twin --
   the wall-clock overhead of surviving injected worker crashes, slowdowns
-  and corrupt results, with a bit-identical statistics verdict per row,
+  and corrupt results, with a bit-identical statistics verdict per row, and
+* store scaling (schema v5): the same exploration through the in-memory
+  ``fingerprint`` store and the SQLite-backed ``disk`` store, with
+  tracemalloc peak memory, the store's disk-I/O share of the wall clock and
+  a store-bound vs CPU-bound regime classification per row -- the evidence
+  that the disk store trades bounded memory for bounded slowdown,
 
 on the registered specification families, and writes one JSON document
 (``BENCH_results.json``) with wall times, states/sec, walks/sec, traces/sec,
@@ -51,10 +56,12 @@ from .workload import generate_workload
 
 __all__ = ["BenchConfig", "run_bench", "summarize", "write_results"]
 
-#: v4: a ``chaos`` stage joins the document (parallel checking under
-#: deterministic fault injection vs its fault-free twin).  v3 added the
-#: resolved ``store`` per row and the ``simulation`` stage.
-SCHEMA_VERSION = 4
+#: v5: a ``store_scaling`` stage joins the document (in-memory vs disk
+#: store with peak-memory and store-bound/CPU-bound regime per row), and
+#: every model-checking row carries ``store_io_seconds`` + ``regime``.  v4
+#: added the ``chaos`` stage; v3 the resolved ``store`` per row and the
+#: ``simulation`` stage.
+SCHEMA_VERSION = 5
 
 #: (registry name, params) pairs benchmarked by default.  The second locking
 #: configuration triples the thread count so the parallel engine has a state
@@ -83,6 +90,20 @@ SMOKE_GENERATION: Tuple[Tuple[str, Dict[str, Any], int], ...] = (
     ("ot_array", {}, 5),
 )
 
+#: Configurations for the store-scaling stage: large enough that the disk
+#: store actually exercises its write-back/flush path, small enough to run
+#: in a bench.  (The million-state runs live in the README's worked example,
+#: not the routine bench.)
+DEFAULT_STORE_SPECS: Tuple[Tuple[str, Dict[str, Any]], ...] = (
+    ("locking", {"n_threads": 4}),
+    ("raftmongo", {"variant": "mbtc", "n_nodes": 3}),
+)
+
+SMOKE_STORE_SPECS: Tuple[Tuple[str, Dict[str, Any]], ...] = (
+    ("locking", {"n_threads": 3}),
+    ("raftmongo", {"variant": "mbtc", "n_nodes": 2}),
+)
+
 
 @dataclass
 class BenchConfig:
@@ -104,6 +125,11 @@ class BenchConfig:
     chaos_rate: float = 0.3
     chaos_seed: int = 7
     chaos_workers: int = 2
+    #: Configurations timed through both the in-memory and the disk store.
+    store_specs: Sequence[Tuple[str, Dict[str, Any]]] = DEFAULT_STORE_SPECS
+    #: Disk-store write-back cache size for the store-scaling rows (None =
+    #: the store's default); small values force the flush path.
+    store_capacity: Optional[int] = None
     smoke: bool = False
 
     @classmethod
@@ -116,6 +142,10 @@ class BenchConfig:
             generation_samples=40,
             sim_walks=60,
             sim_depth=25,
+            store_specs=SMOKE_STORE_SPECS,
+            # Far below the smoke state counts, so the flush/re-probe path is
+            # exercised even at CI scale.
+            store_capacity=1000,
             smoke=True,
         )
 
@@ -127,6 +157,12 @@ def _spec_label(name: str, params: Dict[str, Any]) -> str:
     return f"{name}[{inner}]"
 
 
+def _regime(io_seconds: float, wall: float) -> Tuple[float, str]:
+    """``(io_fraction, regime)``: store-bound when disk I/O dominates wall."""
+    fraction = (io_seconds / wall) if wall else 0.0
+    return round(fraction, 4), ("store-bound" if fraction >= 0.5 else "cpu-bound")
+
+
 def _time_check(
     name: str, params: Dict[str, Any], engine: str, workers: Optional[int]
 ) -> Dict[str, Any]:
@@ -135,6 +171,7 @@ def _time_check(
         spec, check_properties=False, engine=engine, workers=workers
     )
     wall = result.duration_seconds
+    io_fraction, regime = _regime(result.store_io_seconds, wall)
     return {
         "spec": name,
         "params": params,
@@ -148,6 +185,57 @@ def _time_check(
         "max_depth": result.max_depth,
         "peak_frontier": result.peak_frontier,
         "states_per_second": round(result.generated_states / wall, 1) if wall else None,
+        "store_io_seconds": round(result.store_io_seconds, 6),
+        "io_fraction": io_fraction,
+        "regime": regime,
+        "ok": result.ok,
+    }
+
+
+def _time_store(
+    name: str,
+    params: Dict[str, Any],
+    store: str,
+    store_capacity: Optional[int],
+) -> Dict[str, Any]:
+    """One store-scaling row: the same BFS through a given visited store.
+
+    Peak memory is measured with tracemalloc (Python-heap peak, not RSS --
+    comparable across rows on the same interpreter), and the store's share
+    of the wall clock classifies the run as store-bound or CPU-bound.
+    """
+    import tracemalloc
+
+    spec = build_spec(name, **params)
+    tracemalloc.start()
+    result = check_spec(
+        spec,
+        check_properties=False,
+        engine="fingerprint",
+        store=store,
+        store_capacity=store_capacity if store == "disk" else None,
+    )
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    wall = result.duration_seconds
+    io_fraction, regime = _regime(result.store_io_seconds, wall)
+    return {
+        "spec": name,
+        "params": params,
+        "label": _spec_label(name, params),
+        "store": store,
+        "store_capacity": store_capacity if store == "disk" else None,
+        "wall_seconds": round(wall, 6),
+        "distinct_states": result.distinct_states,
+        "generated_states": result.generated_states,
+        "max_depth": result.max_depth,
+        "peak_frontier": result.peak_frontier,
+        "states_per_second": round(result.generated_states / wall, 1) if wall else None,
+        "store_io_seconds": round(result.store_io_seconds, 6),
+        "io_fraction": io_fraction,
+        "regime": regime,
+        "peak_memory_mb": round(peak / 1e6, 2),
+        "frontier_spilled_states": result.frontier_spilled_states,
         "ok": result.ok,
     }
 
@@ -390,6 +478,30 @@ def run_bench(
             _time_chaos(name, params, cfg.chaos_workers, cfg.chaos_rate, cfg.chaos_seed)
         )
 
+    store_rows: List[Dict[str, Any]] = []
+    for name, params in cfg.store_specs:
+        label = _spec_label(name, params)
+        pair: List[Dict[str, Any]] = []
+        for store in ("fingerprint", "disk"):
+            say(f"store-scaling {label} store={store}")
+            pair.append(_time_store(name, params, store, cfg.store_capacity))
+        # The disk store's whole value proposition rests on exactness: its
+        # statistics must coincide bit for bit with the in-memory set's.
+        base = pair[0]
+        base["bit_identical"] = True
+        for row in pair[1:]:
+            row["bit_identical"] = all(
+                row[key] == base[key]
+                for key in (
+                    "distinct_states",
+                    "generated_states",
+                    "max_depth",
+                    "peak_frontier",
+                    "ok",
+                )
+            )
+        store_rows.extend(pair)
+
     from ..mbtcg import STRATEGIES  # deferred: see _time_generation
 
     generation_rows: List[Dict[str, Any]] = []
@@ -453,6 +565,7 @@ def run_bench(
         "trace_checking": trace_rows,
         "test_generation": generation_rows,
         "chaos": chaos_rows,
+        "store_scaling": store_rows,
         "notes": notes,
     }
 
@@ -519,6 +632,17 @@ def summarize(results: Dict[str, Any]) -> str:
                 f"(x{row['overhead_ratio']})  "
                 f"{sup.get('retries', 0)} retried, "
                 f"{sup.get('crashes', 0)} crashes  [{verdict}]"
+            )
+    if results.get("store_scaling"):
+        lines.append("store scaling (in-memory vs disk visited set):")
+        for row in results["store_scaling"]:
+            verdict = "bit-identical" if row["bit_identical"] else "STATS DIVERGED"
+            lines.append(
+                f"  {row['label']:<28} {row['store']:<12} "
+                f"{row['wall_seconds']:.3f}s  {row['states_per_second']} st/s  "
+                f"peak {row['peak_memory_mb']} MB  "
+                f"io {row['io_fraction'] * 100:.0f}% ({row['regime']})  "
+                f"[{verdict}]"
             )
     for note in results["notes"]:
         lines.append(f"note: {note}")

@@ -72,13 +72,31 @@ def build_parser() -> argparse.ArgumentParser:
         choices=STORES,
         default="auto",
         help="visited-state store (default: the engine's native store; "
-        "lru bounds memory at --store-capacity fingerprints)",
+        "lru bounds memory at --store-capacity fingerprints; disk keeps the "
+        "exact visited set in a SQLite file for million-state runs)",
     )
     check_p.add_argument(
         "--store-capacity",
         type=int,
         default=None,
-        help="capacity of the bounded lru store",
+        help="capacity of the bounded lru store, or the disk store's "
+        "write-back cache size",
+    )
+    check_p.add_argument(
+        "--store-path",
+        metavar="FILE",
+        default=None,
+        help="database file of --store disk (default: an ephemeral temp "
+        "file; required when checkpointing a disk-store run)",
+    )
+    check_p.add_argument(
+        "--spill-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help="BFS frontier entries kept in memory before a level spills to "
+        "compressed disk chunks (default: on at 100000 with --store disk, "
+        "off otherwise)",
     )
     check_p.add_argument(
         "--workers",
@@ -371,8 +389,24 @@ def _validate_check_args(args: argparse.Namespace) -> Optional[str]:
             "--max-states/--max-depth apply only to the BFS engines; "
             "bound --engine simulate with --walks/--depth instead"
         )
-    if args.store_capacity is not None and args.store != "lru":
-        return f"--store-capacity applies only to --store lru, not {args.store!r}"
+    if args.store_capacity is not None and args.store not in ("lru", "disk"):
+        return (
+            f"--store-capacity applies only to --store lru or disk, "
+            f"not {args.store!r}"
+        )
+    if args.store_path is not None and args.store != "disk":
+        return f"--store-path applies only to --store disk, not {args.store!r}"
+    if args.spill_threshold is not None and args.engine not in (
+        "auto",
+        "fingerprint",
+        "parallel",
+    ):
+        return (
+            "--spill-threshold applies to the level-synchronous BFS engines; "
+            f"use --engine fingerprint or parallel, not {args.engine!r}"
+        )
+    if args.spill_threshold is not None and args.spill_threshold < 1:
+        return f"--spill-threshold must be >= 1; got {args.spill_threshold}"
     # A run pools workers when the engine is parallel, or simulate with an
     # explicit multi-worker request -- the same predicate the coordinator's
     # requires_registry check uses.
@@ -417,6 +451,12 @@ def _validate_check_args(args: argparse.Namespace) -> Optional[str]:
         return "--checkpoint-every has no effect without --checkpoint"
     if args.checkpoint_every is not None and args.checkpoint_every < 1:
         return f"--checkpoint-every must be >= 1; got {args.checkpoint_every}"
+    if checkpointing and args.store == "disk" and args.store_path is None:
+        return (
+            "--checkpoint/--resume with --store disk requires --store-path: "
+            "the checkpoint references the database file, and an ephemeral "
+            "temp database disappears with the process"
+        )
     return None
 
 
@@ -461,6 +501,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
             workers=args.workers,
             store=args.store,
             store_capacity=args.store_capacity,
+            store_path=args.store_path,
+            spill_threshold=args.spill_threshold,
             walks=args.walks if args.walks is not None else 100,
             walk_depth=args.depth if args.depth is not None else 50,
             seed=args.seed if args.seed is not None else 0,
@@ -513,17 +555,31 @@ def _cmd_check(args: argparse.Namespace) -> int:
             "WARNING: exploration truncated by --max-states/--max-depth; "
             "statistics cover only the explored prefix"
         )
+    if result.store_evictions:
+        print(
+            f"WARNING: the bounded store evicted {result.store_evictions} "
+            "fingerprint(s); the distinct-state count is an upper bound "
+            "(evicted states that reappear are counted again)"
+        )
     workers_note = f" ({result.workers} workers)" if result.engine == "parallel" else ""
     walks_note = (
         f" ({result.walks} walks, longest {result.max_depth} step(s))"
         if result.engine == "simulate"
         else ""
     )
+    store_note = ""
+    if result.store_io_seconds:
+        store_note = f" (I/O {result.store_io_seconds:.2f}s)"
     print(
         f"engine: {result.engine}{workers_note}{walks_note}; "
-        f"store: {result.store}; "
+        f"store: {result.store}{store_note}; "
         f"peak frontier {result.peak_frontier} state(s)"
     )
+    if result.frontier_spilled_states:
+        print(
+            f"frontier spilling: {result.frontier_spilled_states} state(s) "
+            "streamed through compressed disk chunks"
+        )
     for name in sorted(result.action_counts):
         print(f"  {name}: {result.action_counts[name]} transition(s)")
     for outcome in result.property_outcomes:

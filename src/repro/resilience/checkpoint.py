@@ -18,6 +18,13 @@ checkpoint intact rather than a truncated file; the same helpers back the
 benchmark harness's results file.  The format is a pickle with a version
 header and the spec's registry identity, validated on load: resuming a
 ``locking`` checkpoint into a ``raftmongo`` run is an error, not garbage.
+
+Stores that live on disk already (the ``disk`` SQLite store) snapshot as a
+tiny identity header instead of their contents: the checkpoint records the
+database path, a per-lifetime identity token and a rewind point, and
+``restore`` validates the token against the file before rolling the tables
+back -- so checkpoint size stays flat no matter how many million
+fingerprints the run has visited.
 """
 
 from __future__ import annotations

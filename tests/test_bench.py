@@ -15,13 +15,15 @@ def smoke_results():
         specs=(("locking", {}), ("raftmongo", {"n_nodes": 2, "variant": "mbtc"})),
         worker_counts=(1, 2),
         n_traces=30,
+        store_specs=(("locking", {}),),
+        store_capacity=100,
         smoke=True,
     )
     return run_bench(config)
 
 
 def test_results_document_shape(smoke_results):
-    assert smoke_results["schema_version"] == 4
+    assert smoke_results["schema_version"] == 5
     env = smoke_results["environment"]
     assert env["cpu_count"] >= 1 and env["python"]
     # 2 specs x (states + fingerprint + 2 parallel worker counts)
@@ -59,6 +61,21 @@ def test_results_document_shape(smoke_results):
         assert row["chaos_rate"] > 0
         assert row["baseline_wall_seconds"] > 0
         assert row["chaos_wall_seconds"] > 0
+    # schema v5: fingerprint + disk store rows per store-scaling config, with
+    # a regime classification and a bit-identical verdict on the disk row
+    assert len(smoke_results["store_scaling"]) == 2
+    stores = [row["store"] for row in smoke_results["store_scaling"]]
+    assert stores == ["fingerprint", "disk"]
+    for row in smoke_results["store_scaling"]:
+        assert row["ok"]
+        assert row["bit_identical"], f"disk store diverged on {row['label']}"
+        assert row["regime"] in ("store-bound", "cpu-bound")
+        assert 0.0 <= row["io_fraction"] <= 1.0
+        assert row["peak_memory_mb"] > 0
+    # schema v5: every checking row classifies its store regime
+    for row in smoke_results["model_checking"]:
+        assert row["regime"] in ("store-bound", "cpu-bound")
+        assert row["store_io_seconds"] >= 0.0
 
 
 def test_bench_is_a_cross_engine_parity_witness(smoke_results):
@@ -95,6 +112,7 @@ def test_write_results_and_summarize(tmp_path, smoke_results):
     assert "random-walk simulation" in digest
     assert "MBTCG test generation" in digest
     assert "chaos recovery" in digest
+    assert "store scaling" in digest
 
 
 def test_cli_bench_smoke_writes_json(tmp_path, capsys):

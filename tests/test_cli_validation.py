@@ -111,6 +111,43 @@ from repro.pipeline.cli import main
             ],
             "--checkpoint-every",
         ),
+        # ISSUE 7: disk-store flag consistency.
+        (["check", "locking", "--store-path", "x.db"], "--store-path"),
+        (
+            ["check", "locking", "--store", "fingerprint", "--store-path", "x.db"],
+            "--store-path",
+        ),
+        (
+            ["check", "locking", "--store", "lru", "--store-path", "x.db"],
+            "--store-path",
+        ),
+        (
+            ["check", "locking", "--engine", "simulate", "--spill-threshold", "10"],
+            "--spill-threshold",
+        ),
+        (
+            ["check", "locking", "--engine", "states", "--spill-threshold", "10"],
+            "--spill-threshold",
+        ),
+        (
+            [
+                "check",
+                "locking",
+                "--engine",
+                "fingerprint",
+                "--spill-threshold",
+                "0",
+            ],
+            "--spill-threshold",
+        ),
+        (
+            ["check", "locking", "--store", "disk", "--checkpoint", "x.ckpt"],
+            "--store-path",
+        ),
+        (
+            ["check", "locking", "--store", "disk", "--resume", "x.ckpt"],
+            "--store-path",
+        ),
     ],
 )
 def test_inconsistent_flags_exit_2(capsys, argv, needle):
@@ -165,3 +202,27 @@ def test_consistent_flag_combinations_pass(tmp_path, capsys):
     )
     out = capsys.readouterr().out
     assert "store: lru" in out
+    # Disk store: ephemeral, named-path, tuned write cache and spill threshold
+    # are all consistent combinations.
+    db = tmp_path / "visited.db"
+    assert (
+        main(
+            [
+                "check",
+                "locking",
+                "--no-properties",
+                "--store",
+                "disk",
+                "--store-path",
+                str(db),
+                "--store-capacity",
+                "1000",
+                "--spill-threshold",
+                "50",
+            ]
+        )
+        == 0
+    )
+    assert db.exists()
+    out = capsys.readouterr().out
+    assert "store: disk" in out

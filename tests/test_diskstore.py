@@ -1,0 +1,439 @@
+"""The disk-backed fingerprint store and spill frontier (ISSUE 7).
+
+Covers the store's exactness and 64-bit signed/unsigned round-trip, the
+write-back flush path, the stale-file wipe-vs-restore protocol, identity
+validation and sequence-number rewind, the on-disk parent map, the
+SpillFrontier's order-preserving re-iterable contract, engine-level parity
+with the in-memory stores (the golden-stats contract), and disk-store
+checkpoint/resume -- including under deterministic chaos fault injection.
+"""
+
+import os
+
+import pytest
+
+from repro.engine import check_spec
+from repro.engine.diskstore import DiskFingerprintStore, DiskStoreError
+from repro.engine.frontier import SpillFrontier
+from repro.resilience import FaultPlan, SupervisionConfig
+from repro.tla.registry import build_spec
+from repro.tla.state import State, VariableSchema
+
+
+def _stats(result):
+    return (
+        result.distinct_states,
+        result.generated_states,
+        result.max_depth,
+        result.action_counts,
+        result.peak_frontier,
+    )
+
+
+# -- the store proper ---------------------------------------------------------
+
+
+def test_disk_store_is_exact_and_round_trips_64_bit_fingerprints(tmp_path):
+    store = DiskFingerprintStore(capacity=4, path=str(tmp_path / "s.db"))
+    # Values straddling the signed/unsigned 64-bit boundary: the SQLite
+    # INTEGER mapping must round-trip all of them.
+    fps = [0, 1, 2**63 - 1, 2**63, 2**64 - 1, 12345, 2**63 + 17]
+    for fp in fps:
+        assert store.add(fp), fp
+    for fp in fps:
+        assert not store.add(fp), fp  # exact: every re-add is rejected
+        assert fp in store
+    assert (2**62) not in store
+    assert store.distinct_count == len(store) == len(fps)
+    assert store.evictions == 0 and store.exact
+    # capacity=4 with 7 adds means at least one batched flush happened, so
+    # membership above was answered across the memory/disk split.
+    assert store.flushes >= 1
+    assert sorted(store.iter_fingerprints()) == sorted(fps)
+    store.close()
+
+
+def test_disk_store_ephemeral_file_is_deleted_on_close():
+    store = DiskFingerprintStore()
+    path = store.path
+    store.add(42)
+    store.flush()
+    assert os.path.exists(path)
+    store.close()
+    assert not os.path.exists(path)
+    store.close()  # idempotent
+
+
+def test_disk_store_rejects_foreign_files(tmp_path):
+    not_db = tmp_path / "garbage.db"
+    not_db.write_bytes(b"this is not sqlite at all, not even close......")
+    with pytest.raises(DiskStoreError, match="not a SQLite database"):
+        DiskFingerprintStore(path=str(not_db))
+
+    import sqlite3
+
+    other = tmp_path / "other.db"
+    conn = sqlite3.connect(str(other))
+    conn.execute("CREATE TABLE users(id INTEGER)")
+    conn.commit()
+    conn.close()
+    with pytest.raises(DiskStoreError, match="not a repro disk"):
+        DiskFingerprintStore(path=str(other))
+
+
+def test_disk_store_stale_file_is_wiped_unless_restored(tmp_path):
+    path = str(tmp_path / "s.db")
+    first = DiskFingerprintStore(path=path)
+    first.add(1)
+    first.add(2)
+    first.close()
+
+    # Reopening without restore(): the first mutation starts a fresh run
+    # with a fresh identity -- old contents must not leak into it.
+    second = DiskFingerprintStore(path=path)
+    assert second.add(1)
+    assert second.distinct_count == 1
+    second.close()
+
+
+def test_disk_store_snapshot_restore_rewinds_by_sequence(tmp_path):
+    path = str(tmp_path / "s.db")
+    store = DiskFingerprintStore(capacity=2, path=path)
+    parents = store.parent_map()
+    for fp in (10, 20, 30):
+        store.add(fp)
+        parents.setdefault(fp, (None if fp == 10 else 10, f"a{fp}"))
+    header = store.snapshot()
+    assert header["kind"] == "disk" and header["added"] == 3
+    # Post-snapshot work that an interrupted run would have done:
+    store.add(40)
+    parents[40] = (30, "a40")
+    store.close()
+
+    resumed = DiskFingerprintStore(capacity=2, path=path)
+    resumed.restore(header)
+    assert resumed.distinct_count == 3
+    assert sorted(resumed.iter_fingerprints()) == [10, 20, 30]
+    assert resumed.add(40)  # the rewound fingerprint reads as new again
+    rparents = resumed.parent_map()
+    assert rparents[20] == (10, "a20")
+    with pytest.raises(KeyError):
+        rparents[40]
+    resumed.close()
+
+
+def test_disk_store_restore_validates_identity(tmp_path):
+    path_a = str(tmp_path / "a.db")
+    store_a = DiskFingerprintStore(path=path_a)
+    store_a.add(1)
+    header = store_a.snapshot()
+    store_a.close()
+
+    # A snapshot cannot be restored into a freshly created store...
+    fresh = DiskFingerprintStore(path=str(tmp_path / "b.db"))
+    with pytest.raises(DiskStoreError, match="freshly created"):
+        fresh.restore(header)
+    fresh.close()
+
+    # ...nor into a different incarnation of the same path.
+    wiped = DiskFingerprintStore(path=path_a)
+    wiped.add(99)  # first mutation wipes and re-identifies
+    wiped.close()
+    reopened = DiskFingerprintStore(path=path_a)
+    with pytest.raises(DiskStoreError, match="identity"):
+        reopened.restore(header)
+    reopened.close()
+
+    with pytest.raises(DiskStoreError, match="disk-store snapshot"):
+        DiskFingerprintStore().restore({"kind": "lru"})
+
+
+def test_disk_parent_map_survives_flush_and_reports_length(tmp_path):
+    store = DiskFingerprintStore(capacity=2, path=str(tmp_path / "s.db"))
+    parents = store.parent_map()
+    big = 2**64 - 5
+    parents[big] = (None, None)
+    parents.setdefault(7, (big, "Step"))
+    assert parents.setdefault(7, (0, "Ignored")) == (big, "Step")
+    store.flush()
+    assert parents[7] == (big, "Step")  # read back through SQLite
+    assert parents[big] == (None, None)
+    assert len(parents) == 2
+    store.close()
+
+
+# -- the spill frontier -------------------------------------------------------
+
+
+def _schema_and_states(n):
+    schema = VariableSchema(("x",))
+    return schema, [State(schema, {"x": i}) for i in range(n)]
+
+
+def test_spill_frontier_preserves_append_order_and_reiterates():
+    schema, states = _schema_and_states(50)
+    frontier = SpillFrontier(schema, threshold=5, chunk_states=4)
+    for i, state in enumerate(states):
+        frontier.append((state, 1000 + i))
+    assert len(frontier) == 50 and frontier
+    expected = [(s.values, 1000 + i) for i, s in enumerate(states)]
+    # Iterated twice (the checkpoint seam iterates once, the engine again):
+    for _ in range(2):
+        got = [(state.values, fp) for state, fp in frontier]
+        assert got == expected
+    # 45 entries went past the threshold; all full chunks hit the spool.
+    assert frontier.spilled_states == 44  # 11 full chunks of 4
+    assert frontier.compressed_bytes > 0
+    frontier.close()
+    assert len(frontier) == 50  # length survives close; contents are gone
+
+
+def test_spill_frontier_below_threshold_never_touches_disk():
+    schema, states = _schema_and_states(10)
+    frontier = SpillFrontier(schema, threshold=100)
+    for i, state in enumerate(states):
+        frontier.append((state, i))
+    assert frontier.spilled_states == 0 and frontier.compressed_bytes == 0
+    assert [fp for _s, fp in frontier] == list(range(10))
+
+
+def test_spill_frontier_rejects_bad_parameters():
+    schema = VariableSchema(("x",))
+    with pytest.raises(ValueError):
+        SpillFrontier(schema, threshold=0)
+    with pytest.raises(ValueError):
+        SpillFrontier(schema, chunk_states=0)
+
+
+def test_empty_spill_frontier_is_falsy():
+    schema = VariableSchema(("x",))
+    frontier = SpillFrontier(schema, threshold=1)
+    assert not frontier and len(frontier) == 0
+    assert list(frontier) == []
+
+
+# -- engine-level parity (the golden-stats contract) --------------------------
+
+
+@pytest.mark.parametrize(
+    "name,params",
+    [
+        ("locking", {"n_threads": 3}),
+        ("raftmongo", {"variant": "mbtc", "n_nodes": 2}),
+    ],
+)
+def test_disk_store_stats_are_bit_identical_to_in_memory(name, params):
+    spec = build_spec(name, **params)
+    golden = check_spec(spec, check_properties=False, engine="fingerprint")
+    via_disk = check_spec(
+        spec,
+        check_properties=False,
+        engine="fingerprint",
+        store="disk",
+        store_capacity=500,  # force the flush/re-probe path
+        spill_threshold=16,  # force frontier spilling even on narrow levels
+    )
+    assert _stats(golden) == _stats(via_disk)
+    assert via_disk.store == "disk" and via_disk.store_exact
+    assert via_disk.store_evictions == 0
+    assert via_disk.frontier_spilled_states > 0
+
+
+def test_parallel_engine_with_disk_store_matches_serial():
+    spec = build_spec("locking", n_threads=3)
+    golden = check_spec(spec, check_properties=False, engine="fingerprint")
+    via_parallel = check_spec(
+        spec,
+        check_properties=False,
+        engine="parallel",
+        workers=2,
+        store="disk",
+        spill_threshold=64,
+    )
+    assert _stats(golden) == _stats(via_parallel)
+
+
+def test_disk_store_counterexample_replays_through_disk_parents():
+    spec = build_spec("locking", mutation="xx_compatible")
+    golden = check_spec(spec, check_properties=False, engine="fingerprint")
+    via_disk = check_spec(
+        spec,
+        check_properties=False,
+        engine="fingerprint",
+        store="disk",
+        store_capacity=50,
+        spill_threshold=16,
+    )
+    assert via_disk.invariant_violation is not None
+    assert [s.values for s in golden.invariant_violation.trace] == [
+        s.values for s in via_disk.invariant_violation.trace
+    ]
+
+
+def test_simulate_engine_accepts_the_disk_store():
+    spec = build_spec("locking")
+    golden = check_spec(
+        spec, check_properties=False, engine="simulate", walks=20, walk_depth=10
+    )
+    via_disk = check_spec(
+        spec,
+        check_properties=False,
+        engine="simulate",
+        store="disk",
+        walks=20,
+        walk_depth=10,
+    )
+    assert _stats(golden)[:3] == _stats(via_disk)[:3]
+
+
+# -- checkpoint/resume through the disk store ---------------------------------
+
+
+def test_disk_store_checkpoint_resume_is_bit_identical(tmp_path):
+    spec = build_spec("locking", n_threads=3)
+    golden = check_spec(spec, check_properties=False, engine="fingerprint")
+
+    db = str(tmp_path / "visited.db")
+    ckpt = str(tmp_path / "run.ckpt")
+    truncated = check_spec(
+        spec,
+        check_properties=False,
+        engine="fingerprint",
+        store="disk",
+        store_path=db,
+        spill_threshold=32,
+        max_depth=4,
+        checkpoint_path=ckpt,
+        checkpoint_every=1,
+    )
+    assert truncated.truncated
+    resumed = check_spec(
+        spec,
+        check_properties=False,
+        engine="fingerprint",
+        store="disk",
+        store_path=db,
+        spill_threshold=32,
+        checkpoint_path=ckpt,
+        resume_path=ckpt,
+    )
+    assert resumed.resumed_from == ckpt
+    assert _stats(golden) == _stats(resumed)
+
+
+def test_disk_store_checkpoint_resume_under_chaos(tmp_path):
+    """The ISSUE 7 acceptance triad: disk store + checkpoint + chaos.
+
+    Both halves of the run go through the parallel engine with deterministic
+    fault injection; the resumed statistics must still coincide bit for bit
+    with a fault-free, in-memory golden run.
+    """
+    spec = build_spec("locking", n_threads=3)
+    golden = check_spec(spec, check_properties=False, engine="fingerprint")
+
+    db = str(tmp_path / "visited.db")
+    ckpt = str(tmp_path / "run.ckpt")
+    plan = FaultPlan(seed=3, rate=0.2, kinds=("crash", "corrupt"))
+    supervision = SupervisionConfig.from_env(backoff_base=0.01)
+    truncated = check_spec(
+        spec,
+        check_properties=False,
+        engine="parallel",
+        workers=2,
+        chaos=plan,
+        supervision=supervision,
+        store="disk",
+        store_path=db,
+        spill_threshold=32,
+        max_depth=4,
+        checkpoint_path=ckpt,
+        checkpoint_every=1,
+    )
+    assert truncated.truncated
+    resumed = check_spec(
+        spec,
+        check_properties=False,
+        engine="parallel",
+        workers=2,
+        chaos=plan,
+        supervision=supervision,
+        store="disk",
+        store_path=db,
+        spill_threshold=32,
+        checkpoint_path=ckpt,
+        resume_path=ckpt,
+    )
+    assert _stats(golden) == _stats(resumed)
+
+
+def test_resuming_against_the_wrong_database_errors(tmp_path):
+    spec = build_spec("locking", n_threads=3)
+    db = str(tmp_path / "visited.db")
+    ckpt = str(tmp_path / "run.ckpt")
+    check_spec(
+        spec,
+        check_properties=False,
+        engine="fingerprint",
+        store="disk",
+        store_path=db,
+        max_depth=3,
+        checkpoint_path=ckpt,
+    )
+    other = str(tmp_path / "other.db")
+    with pytest.raises(DiskStoreError, match="freshly created"):
+        check_spec(
+            spec,
+            check_properties=False,
+            engine="fingerprint",
+            store="disk",
+            store_path=other,
+            checkpoint_path=ckpt,
+            resume_path=ckpt,
+        )
+
+
+def test_cli_disk_store_checkpoint_round_trip(tmp_path, capsys):
+    from repro.pipeline.cli import main
+
+    db = str(tmp_path / "visited.db")
+    ckpt = str(tmp_path / "run.ckpt")
+    assert (
+        main(
+            [
+                "check",
+                "locking",
+                "--no-properties",
+                "--store",
+                "disk",
+                "--store-path",
+                db,
+                "--max-depth",
+                "4",
+                "--checkpoint",
+                ckpt,
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert (
+        main(
+            [
+                "check",
+                "locking",
+                "--no-properties",
+                "--store",
+                "disk",
+                "--store-path",
+                db,
+                "--checkpoint",
+                ckpt,
+                "--resume",
+                ckpt,
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert f"resumed from checkpoint {ckpt}" in out
+    assert "store: disk" in out

@@ -92,7 +92,7 @@ class TestFacade:
 class TestStoreValidation:
     def test_unknown_store_rejected(self, locking_spec):
         with pytest.raises(ValueError, match="unknown store"):
-            repro.engine.ModelChecker(locking_spec, store="disk")
+            repro.engine.ModelChecker(locking_spec, store="mmap")
 
     def test_incompatible_engine_store_pairs_rejected(self, locking_spec):
         with pytest.raises(ValueError, match="supports stores"):

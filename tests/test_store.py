@@ -4,6 +4,7 @@ import pytest
 
 from repro.engine.store import (
     BoundedLRUStore,
+    DiskFingerprintStore,
     FingerprintSetStore,
     StateRetainingStore,
     make_store,
@@ -45,6 +46,43 @@ def test_lru_store_rejects_bad_capacity():
         BoundedLRUStore(capacity=0)
 
 
+def test_lru_store_at_capacity_one():
+    # ISSUE 7 satellite: the degenerate bound must behave, not wedge -- each
+    # new fingerprint evicts the previous one, membership holds exactly one.
+    store = BoundedLRUStore(capacity=1)
+    assert store.add(10)
+    assert store.add(20)  # evicts 10
+    assert 20 in store and 10 not in store
+    assert len(store) == 1
+    assert store.evictions == 1
+    assert store.add(10)  # forgotten, reads as new again
+    assert store.distinct_count == 3
+
+
+def test_lru_restore_refuses_to_override_explicit_capacity():
+    # ISSUE 7 satellite fix: restore() used to silently overwrite a capacity
+    # the user asked for on the command line, changing eviction behaviour
+    # mid-resume.  Now an explicit mismatch is an error...
+    from repro.engine.base import CheckerError
+
+    donor = BoundedLRUStore(capacity=3)
+    for fp in (1, 2, 3):
+        donor.add(fp)
+    snapshot = donor.snapshot()
+    explicit = BoundedLRUStore(capacity=5)
+    with pytest.raises(CheckerError, match="capacity"):
+        explicit.restore(snapshot)
+    # ...an explicit capacity that matches the snapshot is fine...
+    matching = BoundedLRUStore(capacity=3)
+    matching.restore(snapshot)
+    assert matching.capacity == 3 and len(matching) == 3
+    # ...and a defaulted capacity adopts the snapshot's.
+    defaulted = BoundedLRUStore()
+    defaulted.restore(snapshot)
+    assert defaulted.capacity == 3
+    assert defaulted.distinct_count == donor.distinct_count
+
+
 def test_state_retaining_store_interns_by_value():
     schema = VariableSchema(("x",))
     store = StateRetainingStore()
@@ -63,19 +101,22 @@ def test_state_retaining_store_interns_by_value():
 
 
 def test_make_store_and_registry():
-    assert set(store_names()) >= {"fingerprint", "states", "lru"}
+    assert set(store_names()) >= {"fingerprint", "states", "lru", "disk"}
     assert isinstance(make_store("fingerprint"), FingerprintSetStore)
     assert isinstance(make_store("states"), StateRetainingStore)
     lru = make_store("lru", capacity=7)
     assert isinstance(lru, BoundedLRUStore) and lru.capacity == 7
+    disk = make_store("disk")
+    assert isinstance(disk, DiskFingerprintStore)
+    disk.close()
     with pytest.raises(ValueError, match="unknown store"):
-        make_store("disk")
+        make_store("mmap")
 
 
 def test_register_store_makes_new_backend_addressable():
     class CountingStore(FingerprintSetStore):
         name = "_test_counting"
 
-    register_store("_test_counting", lambda capacity: CountingStore())
+    register_store("_test_counting", lambda capacity, path: CountingStore())
     assert "_test_counting" in store_names()
     assert isinstance(make_store("_test_counting"), CountingStore)

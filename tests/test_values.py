@@ -124,3 +124,23 @@ class TestFingerprint:
         for value in values:
             assert cache.value_fingerprint(value) == fingerprint(value, frozen=True)
         assert len(cache) > 0
+
+    def test_cache_rejects_degenerate_capacity(self):
+        # max_entries=1 would make _evict_oldest_half a no-op (1 // 2 == 0
+        # entries dropped) and the memo would never shrink below the cap.
+        with pytest.raises(ValueError):
+            FingerprintCache(max_entries=1)
+
+    def test_eviction_at_minimal_capacity_keeps_fingerprints_correct(self):
+        # ISSUE 7 satellite: _evict_oldest_half at the smallest legal capacity
+        # must still evict (not loop or no-op) and never corrupt results.
+        cache = FingerprintCache(max_entries=2)
+        values = [(i, i + 1) for i in range(10)]
+        for value in values:
+            assert cache.value_fingerprint(value) == fingerprint(value, frozen=True)
+            assert len(cache) <= cache.max_entries
+        assert cache.evictions >= 1
+        # Re-fingerprinting after heavy eviction still agrees with the
+        # uncached path, including for values that were evicted.
+        for value in values:
+            assert cache.value_fingerprint(value) == fingerprint(value, frozen=True)
