@@ -17,6 +17,6 @@ Layers, bottom to top:
   source and per-node logs, all replayable back through MBTC.
 """
 
-__version__ = "0.6.0"
+__version__ = "0.7.0"
 
 __all__ = ["__version__"]

@@ -22,6 +22,9 @@ stands after every PR: it times
   tracemalloc peak memory, the store's disk-I/O share of the wall clock and
   a store-bound vs CPU-bound regime classification per row -- the evidence
   that the disk store trades bounded memory for bounded slowdown,
+* streaming (schema v6): the ``repro watch`` service draining a directory of
+  pre-written trace logs in ``--once`` mode -- events/sec through the tail ->
+  parse -> incremental-check path, the throughput bound of live MBTC,
 
 on the registered specification families, and writes one JSON document
 (``BENCH_results.json``) with wall times, states/sec, walks/sec, traces/sec,
@@ -56,12 +59,13 @@ from .workload import generate_workload
 
 __all__ = ["BenchConfig", "run_bench", "summarize", "write_results"]
 
-#: v5: a ``store_scaling`` stage joins the document (in-memory vs disk
-#: store with peak-memory and store-bound/CPU-bound regime per row), and
-#: every model-checking row carries ``store_io_seconds`` + ``regime``.  v4
-#: added the ``chaos`` stage; v3 the resolved ``store`` per row and the
+#: v6: a ``streaming`` stage joins the document (the watch service draining
+#: trace logs in once mode, events/sec per spec).  v5 added ``store_scaling``
+#: (in-memory vs disk store with peak-memory and store-bound/CPU-bound regime
+#: per row) and ``store_io_seconds`` + ``regime`` on every model-checking
+#: row; v4 the ``chaos`` stage; v3 the resolved ``store`` per row and the
 #: ``simulation`` stage.
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 #: (registry name, params) pairs benchmarked by default.  The second locking
 #: configuration triples the thread count so the parallel engine has a state
@@ -130,6 +134,8 @@ class BenchConfig:
     #: Disk-store write-back cache size for the store-scaling rows (None =
     #: the store's default); small values force the flush path.
     store_capacity: Optional[int] = None
+    #: Trace-log files drained per spec by the streaming stage.
+    streaming_traces: int = 80
     smoke: bool = False
 
     @classmethod
@@ -146,6 +152,7 @@ class BenchConfig:
             # Far below the smoke state counts, so the flush/re-probe path is
             # exercised even at CI scale.
             store_capacity=1000,
+            streaming_traces=20,
             smoke=True,
         )
 
@@ -395,6 +402,80 @@ def _time_chaos(
     }
 
 
+def _time_streaming(
+    name: str, params: Dict[str, Any], n_traces: int, seed: int, fault_rate: float
+) -> Optional[Dict[str, Any]]:
+    """One streaming row: the watch service draining trace logs in once mode.
+
+    The logs are written outside the timed region; the measurement covers
+    the full tail -> adapter-parse -> incremental-check path.  Returns None
+    for a spec registered without the log metadata the service requires.
+    """
+    import io
+    import shutil
+    import tempfile
+
+    # Deferred so importing bench never drags the service (and its threads
+    # machinery) into memory-profiled checking runs.
+    from ..stream import WatchConfig, WatchService
+    from ..tla.registry import get_entry
+    from . import logs as log_module
+
+    entry = get_entry(name)
+    if entry.per_node_variables is None or entry.node_count is None:
+        return None
+    spec = build_spec(name, **params)
+    per_node = entry.per_node_variables(spec)
+    tmp = tempfile.mkdtemp(prefix="repro-bench-stream-")
+    try:
+        paths: List[str] = []
+        for index, generated in enumerate(
+            generate_workload(
+                spec, n_traces=n_traces, seed=seed, fault_rate=fault_rate
+            )
+        ):
+            events = log_module.events_from_trace(
+                spec,
+                generated.states,
+                per_node=per_node,
+                actions=generated.actions,
+            )
+            path = os.path.join(tmp, f"trace-{index:04d}.log")
+            log_module.write_log_file(path, events)
+            paths.append(path)
+        service = WatchService(
+            spec,
+            paths,
+            per_node=per_node,
+            config=WatchConfig(
+                once=True,
+                report_every=0,
+                poll_interval=0.01,
+                partial_backoff=0.01,
+                stall_timeout=0,
+            ),
+            out=io.StringIO(),
+        )
+        started = time.perf_counter()
+        service.run()
+        wall = time.perf_counter() - started
+        report = service.report()
+        events_total = report["totals"]["events"]
+        return {
+            "spec": name,
+            "params": params,
+            "label": _spec_label(name, params),
+            "traces": len(paths),
+            "events": events_total,
+            "violated_traces": report["traces"]["violated"],
+            "quarantined_lines": report["totals"]["quarantined_lines"],
+            "wall_seconds": round(wall, 6),
+            "events_per_second": int(events_total / wall) if wall else None,
+        }
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
 def _attach_speedups(rows: List[Dict[str, Any]], baseline_of: Callable[[Dict[str, Any]], bool]) -> None:
     """Add ``speedup_vs_serial`` to every row, per spec label."""
     baselines: Dict[str, float] = {}
@@ -502,6 +583,16 @@ def run_bench(
             )
         store_rows.extend(pair)
 
+    streaming_rows: List[Dict[str, Any]] = []
+    for name, params in cfg.specs:
+        label = _spec_label(name, params)
+        say(f"streaming {label} traces={cfg.streaming_traces}")
+        row = _time_streaming(
+            name, params, cfg.streaming_traces, cfg.trace_seed, cfg.fault_rate
+        )
+        if row is not None:
+            streaming_rows.append(row)
+
     from ..mbtcg import STRATEGIES  # deferred: see _time_generation
 
     generation_rows: List[Dict[str, Any]] = []
@@ -566,6 +657,7 @@ def run_bench(
         "test_generation": generation_rows,
         "chaos": chaos_rows,
         "store_scaling": store_rows,
+        "streaming": streaming_rows,
         "notes": notes,
     }
 
@@ -643,6 +735,14 @@ def summarize(results: Dict[str, Any]) -> str:
                 f"peak {row['peak_memory_mb']} MB  "
                 f"io {row['io_fraction'] * 100:.0f}% ({row['regime']})  "
                 f"[{verdict}]"
+            )
+    if results.get("streaming"):
+        lines.append("streaming (watch service draining trace logs, once mode):")
+        for row in results["streaming"]:
+            lines.append(
+                f"  {row['label']:<28} traces={row['traces']} "
+                f"{row['wall_seconds']:.3f}s  {row['events_per_second']} ev/s  "
+                f"{row['violated_traces']} violated trace(s)"
             )
     for note in results["notes"]:
         lines.append(f"note: {note}")

@@ -10,6 +10,9 @@ Subcommands mirror the paper's workflow:
 * ``generate``-- MBTCG (paper Section 5): enumerate the spec's behaviours
   into a deduplicated test corpus, optionally emit pytest source and
   per-node logs, and replay the corpus through the MBTC batch checker,
+* ``watch``   -- streaming MBTC: follow live log files as a long-running
+  service, checking each trace incrementally with backpressure, a quarantine
+  channel for undecodable lines and SIGTERM/SIGINT graceful drain,
 * ``bench``   -- the perf trajectory: time every engine x worker count on the
   registered specs and write ``BENCH_results.json``.
 """
@@ -17,16 +20,23 @@ Subcommands mirror the paper's workflow:
 from __future__ import annotations
 
 import argparse
+import contextlib
 import itertools
-import json
 import os
+import signal
 import sys
 from typing import Optional, Sequence
 
 from ..engine import ENGINES, STORES, ModelChecker, check_spec
 from ..mbtcg import STRATEGIES, generate_suite, replay_corpus, write_corpus
 from ..mbtcg.emitters import write_log_suite, write_pytest_module
-from ..resilience import FAULT_KINDS, FaultPlan, SupervisionConfig
+from ..resilience import (
+    FAULT_KINDS,
+    FaultPlan,
+    SupervisionConfig,
+    read_watch_checkpoint,
+)
+from ..stream import WatchConfig, WatchService
 from ..tla.coverage import CoverageReport, coverage_of_trace
 from ..tla.dot import to_dot
 from ..tla.errors import CheckInterrupted, ReproError
@@ -199,6 +209,109 @@ def build_parser() -> argparse.ArgumentParser:
         "--coverage-out",
         metavar="FILE",
         help="merge this trace's coverage into a JSON report file",
+    )
+
+    watch_p = sub.add_parser(
+        "watch",
+        help="stream-check live log files (long-running MBTC service)",
+    )
+    add_spec_arguments(watch_p)
+    watch_p.add_argument(
+        "logs",
+        nargs="+",
+        metavar="LOGFILE",
+        help="log files to follow, one trace per file (they need not exist yet)",
+    )
+    watch_p.add_argument(
+        "--adapter",
+        choices=sorted(log_module.adapter_names()),
+        default="jsonl",
+        help="log line format (default: %(default)s)",
+    )
+    watch_p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="supervised checker worker processes; 0 checks inline (default)",
+    )
+    watch_p.add_argument(
+        "--queue-size",
+        type=int,
+        default=1000,
+        help="per-source ingestion queue bound (the backpressure limit)",
+    )
+    watch_p.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.25,
+        help="seconds between file polls at EOF (default: %(default)s)",
+    )
+    watch_p.add_argument(
+        "--stall-timeout",
+        type=float,
+        default=30.0,
+        help="watchdog: flag a source silent this long; 0 disables",
+    )
+    watch_p.add_argument(
+        "--partial-retries",
+        type=int,
+        default=5,
+        help="re-reads of a newline-less tail line before declaring it torn",
+    )
+    watch_p.add_argument(
+        "--partial-backoff",
+        type=float,
+        default=0.05,
+        help="first torn-line retry delay; doubles per retry",
+    )
+    watch_p.add_argument(
+        "--batch-limit",
+        type=int,
+        default=256,
+        help="max lines consumed per source per service round",
+    )
+    watch_p.add_argument(
+        "--report",
+        metavar="FILE",
+        help="rolling report JSON, atomically rewritten while the service runs",
+    )
+    watch_p.add_argument(
+        "--report-every",
+        type=float,
+        default=5.0,
+        help="seconds between rolling report refreshes; 0 = only on drain",
+    )
+    watch_p.add_argument(
+        "--quarantine",
+        metavar="FILE",
+        help="append undecodable lines here as JSONL (with file/offset context)",
+    )
+    watch_p.add_argument(
+        "--checkpoint",
+        metavar="FILE",
+        help="write a resumable service checkpoint here (periodic + on drain)",
+    )
+    watch_p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        help="consumed lines between periodic checkpoints (default: 500)",
+    )
+    watch_p.add_argument(
+        "--resume",
+        metavar="FILE",
+        help="resume from a service checkpoint written by --checkpoint",
+    )
+    watch_p.add_argument(
+        "--once",
+        action="store_true",
+        help="drain to EOF and exit instead of following forever",
+    )
+    watch_p.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="per-batch wall-clock budget in the worker pool (needs --workers)",
     )
 
     sim_p = sub.add_parser("simulate", help="generate and batch-check a workload")
@@ -460,6 +573,109 @@ def _validate_check_args(args: argparse.Namespace) -> Optional[str]:
     return None
 
 
+def _validate_watch_args(args: argparse.Namespace) -> Optional[str]:
+    """Single source of truth for `watch` flag consistency (same policy as
+    `check`: inconsistent combinations are hard errors, never warnings)."""
+    if args.workers < 0:
+        return f"--workers must be >= 0; got {args.workers}"
+    if args.queue_size < 1:
+        return f"--queue-size must be >= 1; got {args.queue_size}"
+    if args.poll_interval <= 0:
+        return f"--poll-interval must be positive; got {args.poll_interval}"
+    if args.stall_timeout < 0:
+        return f"--stall-timeout must be >= 0; got {args.stall_timeout}"
+    if args.partial_retries < 1:
+        return f"--partial-retries must be >= 1; got {args.partial_retries}"
+    if args.partial_backoff <= 0:
+        return f"--partial-backoff must be positive; got {args.partial_backoff}"
+    if args.batch_limit < 1:
+        return f"--batch-limit must be >= 1; got {args.batch_limit}"
+    if args.report_every < 0:
+        return f"--report-every must be >= 0; got {args.report_every}"
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        return f"--checkpoint-every must be >= 1; got {args.checkpoint_every}"
+    if (
+        args.checkpoint_every is not None
+        and args.checkpoint is None
+        and args.resume is None
+    ):
+        return "--checkpoint-every has no effect without --checkpoint/--resume"
+    if args.task_timeout is not None and args.workers == 0:
+        return "--task-timeout tunes the worker pool; it needs --workers > 0"
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        return f"--task-timeout must be positive; got {args.task_timeout}"
+    return None
+
+
+@contextlib.contextmanager
+def _drain_signals(callback):
+    """Route SIGTERM/SIGINT to ``callback(signum)`` for the enclosed block.
+
+    Installing a handler can fail outside the main thread (tests drive
+    commands from worker threads); the command then simply runs without
+    signal-triggered drain, which is also the correct Windows fallback.
+    """
+    previous = {}
+    def handler(signum, _frame):
+        callback(signum)
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, handler)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+    try:
+        yield
+    finally:
+        for signum, handler_before in previous.items():
+            signal.signal(signum, handler_before)
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    error = _validate_watch_args(args)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    spec, entry = build_spec_by_name(args.spec, **parse_params(tuple(args.param)))
+    if not _require_log_metadata(entry):
+        return 2
+    per_node = entry.per_node_variables(spec)
+    resume_from = read_watch_checkpoint(args.resume) if args.resume else None
+    supervision = None
+    if args.workers > 0:
+        overrides = (
+            {"task_timeout": args.task_timeout}
+            if args.task_timeout is not None
+            else {}
+        )
+        supervision = SupervisionConfig.from_env(**overrides)
+    config = WatchConfig(
+        adapter=args.adapter,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        poll_interval=args.poll_interval,
+        stall_timeout=args.stall_timeout,
+        partial_retries=args.partial_retries,
+        partial_backoff=args.partial_backoff,
+        checkpoint_every=(
+            args.checkpoint_every if args.checkpoint_every is not None else 500
+        ),
+        report_every=args.report_every,
+        batch_limit=args.batch_limit,
+        once=args.once,
+        report_path=args.report,
+        quarantine_path=args.quarantine,
+        # Resume-then-keep-checkpointing continues into the resume file
+        # unless a separate --checkpoint destination is given.
+        checkpoint_path=args.checkpoint or args.resume,
+        supervision=supervision,
+    )
+    service = WatchService(
+        spec, args.logs, per_node=per_node, config=config, resume_from=resume_from
+    )
+    with _drain_signals(service.request_stop):
+        return service.run()
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     error = _validate_check_args(args)
     if error is not None:
@@ -514,20 +730,30 @@ def _cmd_check(args: argparse.Namespace) -> int:
         )
         return checker.run()
 
-    try:
-        if args.memory_stats:
-            import tracemalloc
+    # A service manager stops a long check with SIGTERM, not ctrl-C; route
+    # it through the same checkpoint-and-report path KeyboardInterrupt takes
+    # (the engine converts the interrupt into CheckInterrupted) and exit 143.
+    received = {"signum": None}
 
-            tracemalloc.start()
-            result = run()
-            _current, peak = tracemalloc.get_traced_memory()
-            tracemalloc.stop()
-        else:
-            result = run()
-            peak = None
+    def _convert_to_interrupt(signum: int) -> None:
+        received["signum"] = signum
+        raise KeyboardInterrupt
+
+    try:
+        with _drain_signals(_convert_to_interrupt):
+            if args.memory_stats:
+                import tracemalloc
+
+                tracemalloc.start()
+                result = run()
+                _current, peak = tracemalloc.get_traced_memory()
+                tracemalloc.stop()
+            else:
+                result = run()
+                peak = None
     except CheckInterrupted as exc:
         # Partial results are still results: report what the run managed and
-        # where it can be resumed from, then exit with the SIGINT code.
+        # where it can be resumed from, then exit with 128 + signum.
         result = exc.result
         print("interrupted; partial statistics follow", file=sys.stderr)
         if result is not None:
@@ -537,7 +763,12 @@ def _cmd_check(args: argparse.Namespace) -> int:
                     f"resume with: repro check {args.spec} "
                     f"--resume {result.checkpoint_path}"
                 )
-        return 130
+        return 143 if received["signum"] == signal.SIGTERM else 130
+    except KeyboardInterrupt:
+        # The signal landed outside the engine's interruptible region, so
+        # there is no partial result to report -- just exit with the code.
+        print("interrupted", file=sys.stderr)
+        return 143 if received["signum"] == signal.SIGTERM else 130
 
     print(result.summary())
     if result.resumed_from:
@@ -806,6 +1037,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "check": _cmd_check,
     "trace": _cmd_trace,
+    "watch": _cmd_watch,
     "simulate": _cmd_simulate,
     "generate": _cmd_generate,
     "bench": _cmd_bench,

@@ -32,24 +32,35 @@ from __future__ import annotations
 import heapq
 import json
 import os
+import shlex
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..tla import NULL, Record, Specification, State
 from ..tla.errors import ReproError
 
 __all__ = [
+    "JsonLinesAdapter",
+    "KeyValueAdapter",
+    "LOG_ADAPTERS",
+    "LogAdapter",
     "LogEvent",
+    "LogIngestError",
     "LogParseError",
     "SNAPSHOT_ACTION",
+    "adapter_names",
     "decode_value",
     "encode_value",
+    "apply_event",
     "events_from_trace",
     "events_to_trace",
     "format_event",
+    "get_adapter",
+    "snapshot_state",
     "merge_event_streams",
     "parse_log_lines",
     "read_log_files",
+    "register_adapter",
     "trace_from_logs",
     "write_log_file",
     "write_per_node_logs",
@@ -57,7 +68,44 @@ __all__ = [
 
 
 class LogParseError(ReproError):
-    """A log line that looks like a trace event cannot be decoded."""
+    """A log line that looks like a trace event cannot be decoded.
+
+    ``path`` and ``lineno`` identify the offending line when known, so batch
+    errors and streaming quarantine records point at the exact input to look
+    at instead of only quoting a snippet.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: Optional[str] = None,
+        lineno: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.lineno = lineno
+
+    def __reduce__(self):
+        # Default exception pickling drops keyword-only attributes; workers
+        # in a supervised pool must deliver the full (path, lineno) context.
+        return (
+            self.__class__,
+            (str(self),),
+            {"path": self.path, "lineno": self.lineno},
+        )
+
+
+class LogIngestError(ReproError):
+    """A log file disappeared or turned unreadable while being ingested."""
+
+
+def _split_location(location: str) -> Tuple[Optional[str], Optional[int]]:
+    """Best-effort ``(path, lineno)`` from a ``"path:lineno"`` location string."""
+    path, sep, tail = location.rpartition(":")
+    if sep and tail.isdigit():
+        return path or None, int(tail)
+    return (location if location != "<memory>" else None), None
 
 
 #: Action name of a full-state anchor event: it re-bases the trace on a
@@ -115,41 +163,68 @@ def decode_value(value: Any) -> Any:
 
 
 # ---------------------------------------------------------------------------
-# Parsing and merging
+# Log adapters: pluggable raw-line -> LogEvent parsers
 # ---------------------------------------------------------------------------
 
 
-def parse_log_lines(
-    lines: Iterable[str], *, location: str = "<memory>"
-) -> Iterator[LogEvent]:
-    """Yield the trace events embedded in an iterable of log lines.
+class LogAdapter:
+    """One external log format, parsed line by line into :class:`LogEvent`.
+
+    The seam the repl-trace-checker exemplar motivates: real deployments log
+    in whatever format their server framework emits, and MBTC must meet the
+    logs where they are.  An adapter turns *one* raw line into one event
+    (``None`` for noise -- non-trace lines are the common case in a server
+    log), raising :class:`LogParseError` for a line that claims to be a trace
+    event but cannot be decoded.  Adapters must be stateless: the streaming
+    service calls one shared instance from many sources concurrently.
+    """
+
+    #: Registry key; ``repro trace --adapter`` and ``repro watch --adapter``
+    #: select adapters by this name.
+    name: str = "?"
+
+    def parse_line(
+        self, raw: str, *, path: str = "<memory>", lineno: int = 0
+    ) -> Optional[LogEvent]:
+        raise NotImplementedError
+
+
+class JsonLinesAdapter(LogAdapter):
+    """The native format: one JSON object per line, arbitrary prefix text.
 
     Lines without an embedded JSON object, and JSON lines without an
-    ``action`` field (ordinary or structured server logging), are skipped as
-    noise.  A line that mentions ``"action"`` but cannot be decoded -- the
-    signature of a half-written trace event from a crashing node -- raises
-    :class:`LogParseError`, because it must fail the run rather than silently
-    produce a shorter trace that checks a different execution.
+    ``action`` field (ordinary or structured server logging), are noise.  A
+    line that mentions ``"action"`` but cannot be decoded -- the signature of
+    a half-written trace event from a crashing node -- is an error, because
+    it must fail (or quarantine) rather than silently produce a shorter trace
+    that checks a different execution.
     """
-    for line_number, raw in enumerate(lines, start=1):
+
+    name = "jsonl"
+
+    def parse_line(
+        self, raw: str, *, path: str = "<memory>", lineno: int = 0
+    ) -> Optional[LogEvent]:
         brace = raw.find("{")
         if brace < 0:
-            continue
+            return None
         snippet = raw[brace:]
         try:
             payload = json.loads(snippet)
         except json.JSONDecodeError as exc:
             if '"action"' in snippet:
                 raise LogParseError(
-                    f"truncated trace event at {location}:{line_number}: {exc}"
+                    f"truncated trace event at {path}:{lineno}: {exc}",
+                    path=path,
+                    lineno=lineno,
                 ) from exc
-            continue
+            return None
         if not isinstance(payload, dict) or "action" not in payload:
-            continue
-        where = f"{location}:{line_number}"
+            return None
+        where = f"{path}:{lineno}"
         try:
             node = payload["node"]
-            yield LogEvent(
+            return LogEvent(
                 ts=float(payload["ts"]),
                 node=None if node is None else int(node),
                 action=str(payload["action"]),
@@ -160,7 +235,110 @@ def parse_log_lines(
                 location=where,
             )
         except (KeyError, TypeError, ValueError) as exc:
-            raise LogParseError(f"malformed trace event at {where}: {exc}") from exc
+            raise LogParseError(
+                f"malformed trace event at {where}: {exc}", path=path, lineno=lineno
+            ) from exc
+
+
+class KeyValueAdapter(LogAdapter):
+    """``key=value`` token format, e.g. syslog-style structured lines::
+
+        ... ts=3 node=1 action=Lock vars='{"holder": 1}'
+
+    Tokens are shell-quoted (so ``vars`` can carry JSON with spaces); lines
+    without an ``action=`` token are noise.  Mostly a proof of the adapter
+    seam -- and the test double for external formats -- rather than a format
+    anyone ships.
+    """
+
+    name = "kv"
+
+    def parse_line(
+        self, raw: str, *, path: str = "<memory>", lineno: int = 0
+    ) -> Optional[LogEvent]:
+        if "action=" not in raw:
+            return None
+        where = f"{path}:{lineno}"
+        try:
+            tokens = shlex.split(raw)
+        except ValueError as exc:
+            raise LogParseError(
+                f"unbalanced quoting at {where}: {exc}", path=path, lineno=lineno
+            ) from exc
+        fields = dict(
+            token.split("=", 1) for token in tokens if "=" in token
+        )
+        if "action" not in fields:
+            return None
+        try:
+            node = fields.get("node", "")
+            raw_vars = json.loads(fields.get("vars", "{}"))
+            return LogEvent(
+                ts=float(fields["ts"]),
+                node=None if node in ("", "null") else int(node),
+                action=fields["action"],
+                vars={
+                    name: decode_value(value)
+                    for name, value in dict(raw_vars).items()
+                },
+                location=where,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise LogParseError(
+                f"malformed trace event at {where}: {exc}", path=path, lineno=lineno
+            ) from exc
+
+
+#: Registered adapters by name; ``jsonl`` is the default everywhere.
+LOG_ADAPTERS: Dict[str, LogAdapter] = {}
+
+
+def register_adapter(adapter: LogAdapter) -> LogAdapter:
+    """Make ``adapter`` selectable by name from the CLI and the service."""
+    LOG_ADAPTERS[adapter.name] = adapter
+    return adapter
+
+
+def get_adapter(name: str) -> LogAdapter:
+    try:
+        return LOG_ADAPTERS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown log adapter {name!r}; registered: {', '.join(adapter_names())}"
+        ) from None
+
+
+def adapter_names() -> List[str]:
+    return sorted(LOG_ADAPTERS)
+
+
+register_adapter(JsonLinesAdapter())
+register_adapter(KeyValueAdapter())
+
+
+# ---------------------------------------------------------------------------
+# Parsing and merging
+# ---------------------------------------------------------------------------
+
+
+def parse_log_lines(
+    lines: Iterable[str],
+    *,
+    location: str = "<memory>",
+    adapter: Optional[LogAdapter] = None,
+) -> Iterator[LogEvent]:
+    """Yield the trace events embedded in an iterable of log lines.
+
+    ``adapter`` selects the line format (default: the native
+    :class:`JsonLinesAdapter`); lines the adapter reports as noise are
+    skipped, undecodable trace events raise :class:`LogParseError` carrying
+    the source ``(path, lineno)``.
+    """
+    parse = (adapter or LOG_ADAPTERS["jsonl"]).parse_line
+    for line_number, raw in enumerate(lines, start=1):
+        event = parse(raw, path=location, lineno=line_number)
+        if event is not None:
+            yield event
 
 
 def merge_event_streams(streams: Iterable[Iterable[LogEvent]]) -> Iterator[LogEvent]:
@@ -173,12 +351,30 @@ def merge_event_streams(streams: Iterable[Iterable[LogEvent]]) -> Iterator[LogEv
     return heapq.merge(*streams, key=lambda event: event.ts)
 
 
-def read_log_files(paths: Sequence[str]) -> Iterator[LogEvent]:
-    """Parse and merge any number of per-node log files."""
+def read_log_files(
+    paths: Sequence[str], *, adapter: Optional[LogAdapter] = None
+) -> Iterator[LogEvent]:
+    """Parse and merge any number of per-node log files.
+
+    A file that cannot be opened, or that disappears or turns unreadable
+    mid-read (rotated away, NFS mount gone), raises :class:`LogIngestError`
+    -- a :class:`~repro.tla.errors.ReproError` the CLI turns into a one-line
+    diagnostic and exit code 2 -- instead of surfacing a raw ``OSError``
+    traceback.
+    """
 
     def stream(path: str) -> Iterator[LogEvent]:
-        with open(path, "r", encoding="utf-8") as handle:
-            yield from parse_log_lines(handle, location=path)
+        try:
+            handle = open(path, "r", encoding="utf-8")
+        except OSError as exc:
+            raise LogIngestError(f"cannot read log file {path!r}: {exc}") from exc
+        try:
+            with handle:
+                yield from parse_log_lines(handle, location=path, adapter=adapter)
+        except OSError as exc:
+            raise LogIngestError(
+                f"log file {path!r} became unreadable mid-read: {exc}"
+            ) from exc
 
     return merge_event_streams(stream(path) for path in paths)
 
@@ -191,6 +387,59 @@ def read_log_files(paths: Sequence[str]) -> Iterator[LogEvent]:
 def _chain_back(first: LogEvent, rest: Iterator[LogEvent]) -> Iterator[LogEvent]:
     yield first
     yield from rest
+
+
+def snapshot_state(spec: Specification, event: LogEvent) -> State:
+    """Build the full state a :data:`SNAPSHOT_ACTION` anchor event carries."""
+    missing = [name for name in spec.schema.names if name not in event.vars]
+    if missing or event.node is not None:
+        path, lineno = _split_location(event.location)
+        raise LogParseError(
+            f"snapshot event at {event.location} must be global and bind "
+            f"every variable (missing: {missing})",
+            path=path,
+            lineno=lineno,
+        )
+    return spec.make_state(**event.vars)
+
+
+def apply_event(
+    spec: Specification,
+    current: State,
+    event: LogEvent,
+    per_node_set: frozenset,
+) -> State:
+    """The state after ``event``: one step of the log -> trace fold.
+
+    A node-scoped event replaces the node's slot of each reported per-node
+    variable, a global event replaces whole variables.  Shared by the batch
+    fold (:func:`events_to_trace`) and the streaming incremental checker, so
+    both interpret an event identically.
+    """
+    updates: Dict[str, Any] = {}
+    for name, value in event.vars.items():
+        if name not in spec.schema:
+            path, lineno = _split_location(event.location)
+            raise LogParseError(
+                f"event at {event.location} reports unknown variable {name!r}",
+                path=path,
+                lineno=lineno,
+            )
+        if event.node is not None and name in per_node_set:
+            slots = list(current[name])
+            if not 0 <= event.node < len(slots):
+                path, lineno = _split_location(event.location)
+                raise LogParseError(
+                    f"event at {event.location} names node {event.node}, but "
+                    f"variable {name!r} has {len(slots)} slots",
+                    path=path,
+                    lineno=lineno,
+                )
+            slots[event.node] = value
+            updates[name] = tuple(slots)
+        else:
+            updates[name] = value
+    return current.with_updates(**updates)
 
 
 def events_to_trace(
@@ -206,9 +455,7 @@ def events_to_trace(
     starting assumption the repl-trace-checker makes -- unless the first
     event is a :data:`SNAPSHOT_ACTION` anchor carrying a full variable
     assignment, which re-bases the trace on that state instead.  Each further
-    event yields the next state: a node-scoped event replaces the node's slot
-    of each reported per-node variable, a global event replaces whole
-    variables.
+    event yields the next state: see :func:`apply_event`.
     """
     if initial is None:
         initials = spec.initial_states()
@@ -218,40 +465,17 @@ def events_to_trace(
                 "pass initial= explicitly to build a trace"
             )
         initial = initials[0]
-    per_node_set = set(per_node)
+    per_node_set = frozenset(per_node)
     events = iter(events)
     first = next(events, None)
     if first is not None and first.action == SNAPSHOT_ACTION:
-        missing = [name for name in spec.schema.names if name not in first.vars]
-        if missing or first.node is not None:
-            raise LogParseError(
-                f"snapshot event at {first.location} must be global and bind "
-                f"every variable (missing: {missing})"
-            )
-        initial = spec.make_state(**first.vars)
+        initial = snapshot_state(spec, first)
     elif first is not None:
         events = _chain_back(first, events)
     trace = [initial]
     current = initial
     for event in events:
-        updates: Dict[str, Any] = {}
-        for name, value in event.vars.items():
-            if name not in spec.schema:
-                raise LogParseError(
-                    f"event at {event.location} reports unknown variable {name!r}"
-                )
-            if event.node is not None and name in per_node_set:
-                slots = list(current[name])
-                if not 0 <= event.node < len(slots):
-                    raise LogParseError(
-                        f"event at {event.location} names node {event.node}, but "
-                        f"variable {name!r} has {len(slots)} slots"
-                    )
-                slots[event.node] = value
-                updates[name] = tuple(slots)
-            else:
-                updates[name] = value
-        current = current.with_updates(**updates)
+        current = apply_event(spec, current, event, per_node_set)
         trace.append(current)
     return trace
 
@@ -261,9 +485,12 @@ def trace_from_logs(
     paths: Sequence[str],
     *,
     per_node: Sequence[str],
+    adapter: Optional[LogAdapter] = None,
 ) -> List[State]:
     """Convenience: parse, merge and fold log files into a state trace."""
-    return events_to_trace(spec, read_log_files(paths), per_node=per_node)
+    return events_to_trace(
+        spec, read_log_files(paths, adapter=adapter), per_node=per_node
+    )
 
 
 # ---------------------------------------------------------------------------

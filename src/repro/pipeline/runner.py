@@ -42,7 +42,14 @@ from ..tla.coverage import CoverageReport, coverage_of_trace
 from ..tla.trace import SuccessorCache, TraceCheckResult, check_trace, explain_failure
 from .workload import GeneratedTrace
 
-__all__ = ["BatchReport", "EXECUTORS", "TraceOutcome", "check_traces"]
+__all__ = [
+    "BatchReport",
+    "EXECUTORS",
+    "TraceOutcome",
+    "check_traces",
+    "process_worker_init",
+    "worker_runtime",
+]
 
 TraceLike = Union[GeneratedTrace, Sequence[State]]
 
@@ -224,15 +231,32 @@ _RUNNER_SPEC: Optional[Specification] = None
 _RUNNER_CACHE: Optional[SuccessorCache] = None
 
 
-def _process_worker_init(
+def process_worker_init(
     registry_name: str, params: Dict[str, Any], provider_modules: List[str]
 ) -> None:
+    """Worker-process initializer: rebuild the spec from its registry ref.
+
+    Shared by every :class:`SupervisedPool` whose tasks need the
+    specification -- the batch runner's chunk tasks and the streaming
+    service's ``advance_events`` tasks both pair this initializer with
+    :func:`worker_runtime` on the task side.
+    """
     global _RUNNER_SPEC, _RUNNER_CACHE
     from ..tla import registry
 
     registry.adopt_providers(provider_modules)
     _RUNNER_SPEC = registry.build_spec(registry_name, **params)
     _RUNNER_CACHE = SuccessorCache(_RUNNER_SPEC)
+
+
+def worker_runtime() -> Tuple[Specification, SuccessorCache]:
+    """The per-worker spec and successor cache set up by :func:`process_worker_init`."""
+    if _RUNNER_SPEC is None or _RUNNER_CACHE is None:
+        raise RuntimeError(
+            "worker_runtime() called outside an initialized worker process; "
+            "pass process_worker_init as the pool initializer"
+        )
+    return _RUNNER_SPEC, _RUNNER_CACHE
 
 
 def _process_check_chunk(
@@ -242,8 +266,7 @@ def _process_check_chunk(
     collect_coverage: bool,
 ) -> Tuple[List[Tuple[TraceOutcome, Optional[CoverageReport]]], Tuple[int, int]]:
     """Check a chunk of traces in a worker; returns results + cache-stat deltas."""
-    spec, cache = _RUNNER_SPEC, _RUNNER_CACHE
-    assert spec is not None and cache is not None
+    spec, cache = worker_runtime()
     hits_before, misses_before = cache.hits, cache.misses
     results = [
         _check_one(
@@ -410,7 +433,7 @@ def _check_traces_process(
 
     pool = SupervisedPool(
         workers,
-        initializer=_process_worker_init,
+        initializer=process_worker_init,
         initargs=(registry_name, params, list(PROVIDER_MODULES)),
         config=supervision,
         name="runner",

@@ -23,10 +23,13 @@ Three pieces, each usable on its own:
 from .checkpoint import (
     Checkpoint,
     CheckpointError,
+    WatchCheckpoint,
     atomic_write_bytes,
     atomic_write_text,
     read_checkpoint,
+    read_watch_checkpoint,
     write_checkpoint,
+    write_watch_checkpoint,
 )
 from .faults import CHAOS_EXIT_CODE, FAULT_KINDS, FaultPlan
 from .supervisor import (
@@ -46,8 +49,11 @@ __all__ = [
     "SupervisionConfig",
     "SupervisionStats",
     "TaskError",
+    "WatchCheckpoint",
     "atomic_write_bytes",
     "atomic_write_text",
     "read_checkpoint",
+    "read_watch_checkpoint",
     "write_checkpoint",
+    "write_watch_checkpoint",
 ]

@@ -41,16 +41,26 @@ __all__ = [
     "CHECKPOINT_VERSION",
     "Checkpoint",
     "CheckpointError",
+    "WATCH_CHECKPOINT_VERSION",
+    "WatchCheckpoint",
     "atomic_write_bytes",
     "atomic_write_text",
     "read_checkpoint",
+    "read_watch_checkpoint",
     "write_checkpoint",
+    "write_watch_checkpoint",
 ]
 
 CHECKPOINT_VERSION = 1
 
+WATCH_CHECKPOINT_VERSION = 1
+
 #: Leading bytes of every checkpoint file, checked before unpickling.
 _MAGIC = b"REPROCKPT1\n"
+
+#: Leading bytes of a streaming-service checkpoint (a different animal from a
+#: BFS snapshot: per-source offsets + per-trace checker state, not a frontier).
+_WATCH_MAGIC = b"REPROWATCH1\n"
 
 
 class CheckpointError(CheckerError):
@@ -136,27 +146,99 @@ class Checkpoint:
             )
 
 
+@dataclass
+class WatchCheckpoint:
+    """A resumable snapshot of the streaming ``repro watch`` service.
+
+    Everything the service needs to pick up exactly where a SIGTERM drained
+    it: how far into each source file it had *consumed* (not merely read --
+    queued-but-unchecked lines are re-read on resume), the held-back partial
+    tail line per source, every per-trace incremental checker's full state,
+    and the rolling report's deterministic counters.  A resumed run over the
+    same data therefore produces a final report bit-identical to an
+    uninterrupted one.
+    """
+
+    spec_name: str
+    registry_ref: Optional[Tuple[str, Dict[str, Any]]]
+    #: Log-adapter name; resuming with a different adapter would re-parse
+    #: the remaining bytes under different rules, so it is rejected.
+    adapter: str
+    #: Per source path: ``{"offset": int, "lineno": int, "partial": str}``.
+    sources: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: Per source path: the pickled-in-place IncrementalChecker snapshot.
+    checkers: Dict[str, Any] = field(default_factory=dict)
+    #: RollingReport.snapshot() -- the deterministic counters.
+    report: Dict[str, Any] = field(default_factory=dict)
+    version: int = WATCH_CHECKPOINT_VERSION
+
+    def validate_for(
+        self,
+        spec_name: str,
+        registry_ref: Optional[Tuple[str, Dict[str, Any]]],
+        adapter: str,
+    ) -> None:
+        """Refuse to resume into a service this snapshot does not belong to."""
+        if self.version != WATCH_CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"watch checkpoint version {self.version} is not supported "
+                f"(expected {WATCH_CHECKPOINT_VERSION})"
+            )
+        if self.spec_name != spec_name or (
+            self.registry_ref is not None
+            and registry_ref is not None
+            and self.registry_ref != registry_ref
+        ):
+            raise CheckpointError(
+                f"watch checkpoint was taken for specification "
+                f"{self.spec_name!r} {self.registry_ref}; refusing to resume "
+                f"{spec_name!r} {registry_ref} from it"
+            )
+        if self.adapter != adapter:
+            raise CheckpointError(
+                f"watch checkpoint was taken with log adapter {self.adapter!r}; "
+                f"the resuming service uses {adapter!r}"
+            )
+
+
 def write_checkpoint(path: str, checkpoint: Checkpoint) -> None:
     """Serialize and atomically persist ``checkpoint`` at ``path``."""
     payload = pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL)
     atomic_write_bytes(path, _MAGIC + payload)
 
 
-def read_checkpoint(path: str) -> Checkpoint:
-    """Load a checkpoint written by :func:`write_checkpoint`."""
+def write_watch_checkpoint(path: str, checkpoint: WatchCheckpoint) -> None:
+    """Serialize and atomically persist a service snapshot at ``path``."""
+    payload = pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL)
+    atomic_write_bytes(path, _WATCH_MAGIC + payload)
+
+
+def _read_magic_pickle(path: str, magic: bytes, cls: type, kind: str) -> Any:
     try:
         with open(path, "rb") as handle:
             data = handle.read()
     except OSError as exc:
-        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
-    if not data.startswith(_MAGIC):
-        raise CheckpointError(f"{path!r} is not a repro checkpoint file")
+        raise CheckpointError(f"cannot read {kind} {path!r}: {exc}") from exc
+    if not data.startswith(magic):
+        raise CheckpointError(f"{path!r} is not a repro {kind} file")
     try:
-        checkpoint = pickle.loads(data[len(_MAGIC) :])
+        checkpoint = pickle.loads(data[len(magic) :])
     except Exception as exc:
         raise CheckpointError(
-            f"checkpoint {path!r} is corrupt or from an incompatible version: {exc}"
+            f"{kind} {path!r} is corrupt or from an incompatible version: {exc}"
         ) from exc
-    if not isinstance(checkpoint, Checkpoint):
-        raise CheckpointError(f"{path!r} does not contain a Checkpoint object")
+    if not isinstance(checkpoint, cls):
+        raise CheckpointError(f"{path!r} does not contain a {cls.__name__} object")
     return checkpoint
+
+
+def read_checkpoint(path: str) -> Checkpoint:
+    """Load a checkpoint written by :func:`write_checkpoint`."""
+    return _read_magic_pickle(path, _MAGIC, Checkpoint, "checkpoint")
+
+
+def read_watch_checkpoint(path: str) -> WatchCheckpoint:
+    """Load a service snapshot written by :func:`write_watch_checkpoint`."""
+    return _read_magic_pickle(
+        path, _WATCH_MAGIC, WatchCheckpoint, "watch checkpoint"
+    )

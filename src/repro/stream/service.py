@@ -1,0 +1,553 @@
+"""The long-running ``repro watch`` service loop.
+
+Architecture (one :class:`WatchService` per ``repro watch`` invocation):
+
+* One **tailer thread per source file**, each owning a
+  :class:`~repro.stream.tailer.LogTailer` and pushing its lines into a
+  bounded per-source queue.  ``queue.Queue(maxsize=...)`` with a blocking
+  put is the backpressure: when checking falls behind, the tailer thread
+  blocks on its queue and the file simply grows -- ingestion memory never
+  does.
+* The **main loop** drains the queues round-robin (sorted source order, a
+  bounded batch per source per round -- deterministic given the consumed
+  data), parses lines through the configured
+  :class:`~repro.pipeline.logs.LogAdapter`, quarantines what will not
+  parse, and advances each source's
+  :class:`~repro.stream.incremental.IncrementalChecker`.  With
+  ``workers > 0`` the per-round event batches are shipped through a
+  :class:`~repro.resilience.SupervisedPool` instead -- a crashed or hung
+  checker worker costs one retried batch, and a batch that exhausts its
+  retries is recomputed inline through the same pure ``advance_events``
+  function, so the verdicts are bit-identical either way.
+* A **watchdog** flags sources that have produced no data for
+  ``stall_timeout`` seconds (runtime diagnostics only -- a stalled source
+  is not an error).
+* **Graceful drain**: :meth:`WatchService.request_stop` (wired to
+  SIGTERM/SIGINT by the CLI) stops ingestion, joins the tailer threads,
+  checks everything already queued, then writes the final checkpoint and
+  report.  The exit code is ``128 + signum`` (143 for SIGTERM, 130 for
+  SIGINT); a clean ``--once`` completion exits 1 if any trace violated its
+  specification, else 0.
+
+One source file is one trace: the service does not merge events across
+files, because live per-node logs cannot be totally ordered without the
+offline merge the batch pipeline performs.
+
+Checkpointed positions are *consumed* positions -- lines still sitting in a
+queue at checkpoint time are re-read on resume.  Note the one caveat: a
+periodic (non-drain) checkpoint races with a rotation that happens after it;
+the drain checkpoint written on shutdown is always consistent.
+"""
+
+from __future__ import annotations
+
+import queue
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, TextIO, Tuple
+
+from ..pipeline.logs import LogEvent, LogParseError, get_adapter
+from ..pipeline.runner import process_worker_init
+from ..resilience import (
+    SupervisedPool,
+    SupervisionConfig,
+    TaskError,
+    WatchCheckpoint,
+    write_watch_checkpoint,
+)
+from ..tla import Specification
+from ..tla.trace import SuccessorCache
+from .incremental import IncrementalChecker, advance_events
+from .report import QuarantineLog, build_report, render_report, write_report
+from .tailer import LogTailer, TailedLine
+
+__all__ = ["WatchConfig", "WatchService"]
+
+
+def _advance_task(
+    state: Any, events: List[LogEvent], per_node: List[str], violated: bool
+) -> Tuple[Any, list]:
+    """Pool task: advance one source's batch in a supervised worker."""
+    from ..pipeline.runner import worker_runtime
+
+    spec, cache = worker_runtime()
+    return advance_events(
+        spec, frozenset(per_node), state, events, cache, violated=violated
+    )
+
+
+@dataclass
+class WatchConfig:
+    """Tunable behaviour of one :class:`WatchService`."""
+
+    #: Log-adapter name (see :func:`repro.pipeline.logs.adapter_names`).
+    adapter: str = "jsonl"
+    #: 0 checks inline in the service process; > 0 dispatches per-round
+    #: batches through a SupervisedPool of worker processes.
+    workers: int = 0
+    #: Bound of each per-source ingestion queue -- the backpressure limit.
+    queue_size: int = 1000
+    #: Tailer sleep between polls once a source is at EOF.
+    poll_interval: float = 0.25
+    #: Seconds without new data before the watchdog flags a source; <= 0
+    #: disables the watchdog (it is always off in ``once`` mode).
+    stall_timeout: float = 30.0
+    partial_retries: int = 5
+    partial_backoff: float = 0.05
+    #: Consumed lines between periodic checkpoints (0 = only on drain).
+    checkpoint_every: int = 500
+    #: Seconds between rolling report refreshes (0 = only on drain).
+    report_every: float = 5.0
+    #: Max lines consumed per source per main-loop round.
+    batch_limit: int = 256
+    #: Drain and exit once every source reaches EOF (CI / resume replays).
+    once: bool = False
+    report_path: Optional[str] = None
+    quarantine_path: Optional[str] = None
+    checkpoint_path: Optional[str] = None
+    supervision: Optional[SupervisionConfig] = None
+
+
+class WatchService:
+    """Follow log files and check them against ``spec`` until stopped."""
+
+    def __init__(
+        self,
+        spec: Specification,
+        sources: Sequence[str],
+        *,
+        per_node: Sequence[str] = (),
+        config: Optional[WatchConfig] = None,
+        resume_from: Optional[WatchCheckpoint] = None,
+        out: Optional[TextIO] = None,
+    ) -> None:
+        if not sources:
+            raise ValueError("watch needs at least one log source")
+        self.spec = spec
+        self.config = config if config is not None else WatchConfig()
+        self.per_node = tuple(per_node)
+        self.out = out if out is not None else sys.stderr
+        self.sources = sorted(dict.fromkeys(sources))
+        if self.config.workers > 0 and spec.registry_ref is None:
+            raise ValueError(
+                f"workers > 0 requires a registered specification, but "
+                f"{spec.name!r} has no registry_ref"
+            )
+        self.adapter = get_adapter(self.config.adapter)
+        self.quarantine = QuarantineLog(self.config.quarantine_path)
+        self.cache = SuccessorCache(spec)
+        self.stop_signal: Optional[int] = None
+        self._stop = threading.Event()
+        self._started_at: Optional[float] = None
+        self._last_report_at = 0.0
+        self._lines_since_checkpoint = 0
+        self._pool: Optional[SupervisedPool] = None
+        self._checkers: Dict[str, IncrementalChecker] = {}
+        self._announced: set = set()
+        self._stalled: set = set()
+        self._threads: Dict[str, threading.Thread] = {}
+        self._queues: Dict[str, "queue.Queue[TailedLine]"] = {}
+        self._tailers: Dict[str, LogTailer] = {}
+        self._source_done: Dict[str, bool] = {}
+        self._last_data: Dict[str, float] = {}
+        #: Per source: offset/lineno of the last line fully *consumed*
+        #: (checked or quarantined) -- the checkpointed resume position.
+        self._consumed: Dict[str, Dict[str, int]] = {}
+
+        start: Dict[str, Dict[str, Any]] = {}
+        if resume_from is not None:
+            resume_from.validate_for(
+                spec.name, spec.registry_ref, self.config.adapter
+            )
+            start = resume_from.sources
+            for source, snap in resume_from.checkers.items():
+                self._checkers[source] = IncrementalChecker.restore(
+                    spec,
+                    snap,
+                    per_node=self.per_node,
+                    source=source,
+                    successor_cache=self.cache,
+                )
+            self.quarantine.count = int(
+                resume_from.report.get("quarantined_lines", 0)
+            )
+        for source in self.sources:
+            pos = start.get(source, {})
+            self._consumed[source] = {
+                "offset": int(pos.get("offset", 0)),
+                "lineno": int(pos.get("lineno", 0)),
+            }
+            self._tailers[source] = LogTailer(
+                source,
+                start_offset=self._consumed[source]["offset"],
+                start_lineno=self._consumed[source]["lineno"],
+                partial_retries=self.config.partial_retries,
+                partial_backoff=self.config.partial_backoff,
+            )
+            self._queues[source] = queue.Queue(maxsize=self.config.queue_size)
+            self._source_done[source] = False
+
+    # -- control --------------------------------------------------------------
+    def request_stop(self, signum: Optional[int] = None) -> None:
+        """Begin a graceful drain; safe to call from a signal handler."""
+        if signum is not None and self.stop_signal is None:
+            self.stop_signal = signum
+        self._stop.set()
+
+    def run(self) -> int:
+        """Tail, check and report until stopped (or drained in once mode)."""
+        self._started_at = time.monotonic()
+        self._last_report_at = self._started_at
+        for source in self.sources:
+            self._last_data[source] = self._started_at
+            thread = threading.Thread(
+                target=self._tail_source,
+                args=(source,),
+                name=f"repro-tail:{source}",
+                daemon=True,
+            )
+            self._threads[source] = thread
+            thread.start()
+        if self.config.workers > 0:
+            from ..tla.registry import PROVIDER_MODULES
+
+            registry_name, params = self.spec.registry_ref  # type: ignore[misc]
+            self._pool = SupervisedPool(
+                self.config.workers,
+                initializer=process_worker_init,
+                initargs=(registry_name, params, list(PROVIDER_MODULES)),
+                config=self.config.supervision,
+                name="watch",
+            )
+        try:
+            while True:
+                consumed = self._drain_round()
+                now = time.monotonic()
+                self._watchdog(now)
+                self._maybe_emit_report(now)
+                self._maybe_checkpoint()
+                if self._stop.is_set():
+                    break
+                if (
+                    self.config.once
+                    and consumed == 0
+                    and all(self._source_done.values())
+                    and all(q.empty() for q in self._queues.values())
+                ):
+                    break
+                if consumed == 0:
+                    time.sleep(min(self.config.poll_interval, 0.05))
+            # Drain: stop ingestion, then check everything already queued.
+            self._stop.set()
+            for thread in self._threads.values():
+                thread.join(timeout=10.0)
+            while self._drain_round():
+                pass
+        finally:
+            self._stop.set()
+            for thread in self._threads.values():
+                thread.join(timeout=10.0)
+            if self._pool is not None:
+                self._pool.shutdown()
+            self.quarantine.close()
+        self._final_flush()
+        return self.exit_code()
+
+    def exit_code(self) -> int:
+        if self.stop_signal is not None:
+            return 128 + self.stop_signal
+        if any(c.status == "violated" for c in self._checkers.values()):
+            return 1
+        return 0
+
+    # -- reporting ------------------------------------------------------------
+    def report(self) -> Dict[str, Any]:
+        """The deterministic rolling report for the data consumed so far."""
+        return build_report(
+            self.spec.name,
+            self.config.adapter,
+            {s: dict(self._consumed[s]) for s in self.sources},
+            {s: c.to_report() for s, c in self._checkers.items()},
+            self.quarantine.count,
+        )
+
+    def runtime_info(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """Wall-clock diagnostics (console only; never checkpointed)."""
+        now = time.monotonic() if now is None else now
+        uptime = (
+            now - self._started_at if self._started_at is not None else None
+        )
+        events = sum(c.events for c in self._checkers.values())
+        return {
+            "uptime_seconds": uptime,
+            "events_per_second": events / uptime if uptime else 0.0,
+            "stalled": sorted(self._stalled),
+            "rotations": sum(t.rotations for t in self._tailers.values()),
+            "truncations": sum(t.truncations for t in self._tailers.values()),
+            "torn_lines": sum(t.torn_lines for t in self._tailers.values()),
+            "supervision": (
+                self._pool.stats.to_dict() if self._pool is not None else None
+            ),
+        }
+
+    # -- tailer threads -------------------------------------------------------
+    def _tail_source(self, source: str) -> None:
+        tailer = self._tailers[source]
+        target = self._queues[source]
+        try:
+            while not self._stop.is_set():
+                batch = tailer.poll()
+                if batch.lines:
+                    self._last_data[source] = time.monotonic()
+                for line in batch.lines:
+                    if not self._enqueue(target, line):
+                        return
+                if self.config.once and (batch.at_eof or batch.waiting):
+                    return
+                if batch.at_eof or batch.waiting:
+                    self._stop.wait(self.config.poll_interval)
+        finally:
+            tailer.close()
+            self._source_done[source] = True
+
+    def _enqueue(self, target: "queue.Queue[TailedLine]", line: TailedLine) -> bool:
+        """Blocking put = backpressure; aborts only on a stop request."""
+        while not self._stop.is_set():
+            try:
+                target.put(line, timeout=0.1)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    # -- main loop ------------------------------------------------------------
+    def _checker(self, source: str) -> IncrementalChecker:
+        checker = self._checkers.get(source)
+        if checker is None:
+            checker = IncrementalChecker(
+                self.spec,
+                per_node=self.per_node,
+                source=source,
+                successor_cache=self.cache,
+            )
+            self._checkers[source] = checker
+        return checker
+
+    def _drain_round(self) -> int:
+        consumed = 0
+        parsed: List[Tuple[str, List[TailedLine], List[LogEvent]]] = []
+        for source in self.sources:
+            lines = self._pop_lines(source)
+            if lines:
+                consumed += len(lines)
+                parsed.append((source, lines, self._parse_lines(source, lines)))
+        if not parsed:
+            return 0
+        if self._pool is None:
+            for source, _lines, events in parsed:
+                self._feed_inline(source, events)
+        else:
+            self._feed_pooled(parsed)
+        for source, lines, _events in parsed:
+            last = lines[-1]
+            self._consumed[source] = {
+                "offset": last.offset,
+                "lineno": last.lineno,
+            }
+            self._lines_since_checkpoint += len(lines)
+            self._announce_violation(source)
+        return consumed
+
+    def _pop_lines(self, source: str) -> List[TailedLine]:
+        source_queue = self._queues[source]
+        lines: List[TailedLine] = []
+        while len(lines) < self.config.batch_limit:
+            try:
+                lines.append(source_queue.get_nowait())
+            except queue.Empty:
+                break
+        return lines
+
+    def _parse_lines(
+        self, source: str, lines: List[TailedLine]
+    ) -> List[LogEvent]:
+        events: List[LogEvent] = []
+        for line in lines:
+            if line.torn:
+                self.quarantine.record(
+                    source=source,
+                    lineno=line.lineno,
+                    offset=line.offset,
+                    reason="torn line (no newline after bounded retries)",
+                    raw=line.text,
+                )
+                continue
+            try:
+                event = self.adapter.parse_line(
+                    line.text, path=source, lineno=line.lineno
+                )
+            except LogParseError as exc:
+                self.quarantine.record(
+                    source=source,
+                    lineno=line.lineno,
+                    offset=line.offset,
+                    reason=str(exc),
+                    raw=line.text,
+                )
+                continue
+            if event is not None:
+                events.append(event)
+        return events
+
+    def _feed_inline(self, source: str, events: List[LogEvent]) -> None:
+        checker = self._checker(source)
+        for event in events:
+            self._feed_one(source, checker, event)
+
+    def _feed_one(
+        self, source: str, checker: IncrementalChecker, event: LogEvent
+    ) -> None:
+        try:
+            checker.feed(event)
+        except LogParseError as exc:
+            self.quarantine.record(
+                source=source,
+                lineno=getattr(exc, "lineno", None),
+                offset=None,
+                reason=str(exc),
+                raw=repr(event),
+            )
+
+    def _feed_pooled(
+        self, parsed: List[Tuple[str, List[TailedLine], List[LogEvent]]]
+    ) -> None:
+        assert self._pool is not None
+        tasks: List[Tuple[IncrementalChecker, List[LogEvent], int]] = []
+        for source, _lines, events in parsed:
+            if not events:
+                continue
+            checker = self._checker(source)
+            # The first events of a stream may re-anchor the checker (snapshot
+            # handling lives in feed's pre-step); feed those inline, ship the
+            # started remainder as one worker batch.
+            index = 0
+            while index < len(events) and not checker.started:
+                self._feed_one(source, checker, events[index])
+                index += 1
+            rest = events[index:]
+            if not rest:
+                continue
+            assert checker.current is not None
+            # Count at dispatch so a retried batch can never double-count.
+            checker.events += len(rest)
+            task_index = self._pool.submit(
+                _advance_task,
+                (
+                    checker.current,
+                    list(rest),
+                    list(self.per_node),
+                    checker.status == "violated",
+                ),
+            )
+            tasks.append((checker, rest, task_index))
+        for checker, rest, task_index in tasks:
+            try:
+                final, outcomes = self._pool.result(task_index)
+            except TaskError:
+                # Exhausted retries (or degraded pool): same pure fold inline.
+                assert checker.current is not None
+                final, outcomes = advance_events(
+                    self.spec,
+                    checker.per_node_set,
+                    checker.current,
+                    rest,
+                    self.cache,
+                    violated=checker.status == "violated",
+                )
+            checker.apply_outcomes(rest, outcomes, final)
+
+    def _announce_violation(self, source: str) -> None:
+        checker = self._checkers.get(source)
+        if (
+            checker is None
+            or checker.status != "violated"
+            or source in self._announced
+        ):
+            return
+        self._announced.add(source)
+        violation = checker.violation or {}
+        print(
+            f"watch: VIOLATION in {source} after step "
+            f"{violation.get('step')}: {violation.get('detail')}",
+            file=self.out,
+            flush=True,
+        )
+
+    # -- housekeeping ---------------------------------------------------------
+    def _watchdog(self, now: float) -> None:
+        if self.config.once or self.config.stall_timeout <= 0:
+            return
+        for source in self.sources:
+            if self._source_done[source]:
+                continue
+            if now - self._last_data.get(source, now) > self.config.stall_timeout:
+                if source not in self._stalled:
+                    self._stalled.add(source)
+                    print(
+                        f"watch: source {source} has produced no data for "
+                        f"{self.config.stall_timeout:.0f}s (stalled?)",
+                        file=self.out,
+                        flush=True,
+                    )
+            else:
+                self._stalled.discard(source)
+
+    def _maybe_emit_report(self, now: float) -> None:
+        if self.config.report_every <= 0:
+            return
+        if now - self._last_report_at < self.config.report_every:
+            return
+        self._last_report_at = now
+        report = self.report()
+        if self.config.report_path:
+            write_report(report, self.config.report_path)
+        print(render_report(report, self.runtime_info(now)), file=self.out, flush=True)
+
+    def _maybe_checkpoint(self) -> None:
+        if (
+            not self.config.checkpoint_path
+            or self.config.checkpoint_every <= 0
+            or self._lines_since_checkpoint < self.config.checkpoint_every
+        ):
+            return
+        self._lines_since_checkpoint = 0
+        write_watch_checkpoint(self.config.checkpoint_path, self.checkpoint())
+
+    def checkpoint(self) -> WatchCheckpoint:
+        """Snapshot the consumed positions and every checker's state."""
+        sources: Dict[str, Dict[str, Any]] = {}
+        for source in self.sources:
+            position: Dict[str, Any] = dict(self._consumed[source])
+            position["partial"] = self._tailers[source].partial
+            sources[source] = position
+        return WatchCheckpoint(
+            spec_name=self.spec.name,
+            registry_ref=self.spec.registry_ref,
+            adapter=self.config.adapter,
+            sources=sources,
+            checkers={
+                source: checker.snapshot()
+                for source, checker in sorted(self._checkers.items())
+            },
+            report={"quarantined_lines": self.quarantine.count},
+        )
+
+    def _final_flush(self) -> None:
+        if self.config.checkpoint_path:
+            write_watch_checkpoint(self.config.checkpoint_path, self.checkpoint())
+        report = self.report()
+        if self.config.report_path:
+            write_report(report, self.config.report_path)
+        print(render_report(report, self.runtime_info()), file=self.out, flush=True)

@@ -23,7 +23,7 @@ def smoke_results():
 
 
 def test_results_document_shape(smoke_results):
-    assert smoke_results["schema_version"] == 5
+    assert smoke_results["schema_version"] == 6
     env = smoke_results["environment"]
     assert env["cpu_count"] >= 1 and env["python"]
     # 2 specs x (states + fingerprint + 2 parallel worker counts)
@@ -76,6 +76,15 @@ def test_results_document_shape(smoke_results):
     for row in smoke_results["model_checking"]:
         assert row["regime"] in ("store-bound", "cpu-bound")
         assert row["store_io_seconds"] >= 0.0
+    # schema v6: one streaming row per spec config with log metadata
+    assert len(smoke_results["streaming"]) >= 1
+    for row in smoke_results["streaming"]:
+        assert row["traces"] > 0
+        assert row["events"] > 0
+        assert row["wall_seconds"] > 0
+        assert row["events_per_second"] > 0
+        # the workload seeds faults, and the service must catch some live
+        assert row["violated_traces"] > 0
 
 
 def test_bench_is_a_cross_engine_parity_witness(smoke_results):
@@ -113,6 +122,7 @@ def test_write_results_and_summarize(tmp_path, smoke_results):
     assert "MBTCG test generation" in digest
     assert "chaos recovery" in digest
     assert "store scaling" in digest
+    assert "streaming" in digest
 
 
 def test_cli_bench_smoke_writes_json(tmp_path, capsys):

@@ -9,6 +9,7 @@ engine), and the CLI's exit-130/resume-hint contract.
 """
 
 import os
+import signal as signal_module
 
 import pytest
 
@@ -37,8 +38,10 @@ def _stats(result):
 
 # A registered counter whose invariant raises KeyboardInterrupt exactly once
 # (when armed), simulating a ctrl-C / kill mid-flight at a deterministic
-# point of the exploration.
-_INTERRUPT = {"armed": False}
+# point of the exploration.  Arming "sigterm" instead delivers a real
+# SIGTERM to the process at the same point, exercising the CLI's
+# signal-to-checkpoint conversion without subprocess timing races.
+_INTERRUPT = {"armed": False, "sigterm": False}
 
 
 def _interrupter_factory(limit=60, interrupt_at=45):
@@ -53,6 +56,9 @@ def _interrupter_factory(limit=60, interrupt_at=45):
         if _INTERRUPT["armed"] and state["x"] == interrupt_at:
             _INTERRUPT["armed"] = False
             raise KeyboardInterrupt
+        if _INTERRUPT["sigterm"] and state["x"] == interrupt_at:
+            _INTERRUPT["sigterm"] = False
+            signal_module.raise_signal(signal_module.SIGTERM)
         return True
 
     return Specification(
@@ -255,6 +261,33 @@ def test_cli_interrupt_exits_130_with_resume_hint(tmp_path, capsys):
     out = capsys.readouterr().out
     assert f"resumed from checkpoint {path}" in out
     assert "61 distinct states" in out
+
+
+def test_cli_sigterm_exits_143_with_resumable_checkpoint(tmp_path, capsys):
+    """A service manager's SIGTERM rides the exact same checkpoint-and-exit
+    path as ctrl-C -- partial stats, resume hint -- but exits 128 + 15."""
+    path = tmp_path / "term.ckpt"
+    _INTERRUPT["sigterm"] = True
+    try:
+        code = main(
+            [
+                "check",
+                "_test_interrupter",
+                "--checkpoint",
+                str(path),
+                "--checkpoint-every",
+                "10",
+            ]
+        )
+    finally:
+        _INTERRUPT["sigterm"] = False
+    assert code == 143
+    captured = capsys.readouterr()
+    assert "interrupted; partial statistics follow" in captured.err
+    assert f"--resume {path}" in captured.out
+
+    assert main(["check", "_test_interrupter", "--resume", str(path)]) == 0
+    assert "61 distinct states" in capsys.readouterr().out
 
 
 def test_cli_resume_of_garbage_file_exits_2(tmp_path, capsys):

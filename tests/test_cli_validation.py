@@ -148,6 +148,36 @@ from repro.pipeline.cli import main
             ["check", "locking", "--store", "disk", "--resume", "x.ckpt"],
             "--store-path",
         ),
+        # ISSUE 8: the watch service has the same hard-error flag policy.
+        (["watch", "locking", "a.log", "--workers", "-1"], "--workers"),
+        (["watch", "locking", "a.log", "--queue-size", "0"], "--queue-size"),
+        (["watch", "locking", "a.log", "--poll-interval", "0"], "--poll-interval"),
+        (["watch", "locking", "a.log", "--stall-timeout", "-1"], "--stall-timeout"),
+        (["watch", "locking", "a.log", "--partial-retries", "0"], "--partial-retries"),
+        (["watch", "locking", "a.log", "--partial-backoff", "0"], "--partial-backoff"),
+        (["watch", "locking", "a.log", "--batch-limit", "0"], "--batch-limit"),
+        (["watch", "locking", "a.log", "--report-every", "-1"], "--report-every"),
+        (
+            ["watch", "locking", "a.log", "--checkpoint-every", "5"],
+            "--checkpoint-every",
+        ),
+        (
+            [
+                "watch",
+                "locking",
+                "a.log",
+                "--checkpoint",
+                "w.ckpt",
+                "--checkpoint-every",
+                "0",
+            ],
+            "--checkpoint-every",
+        ),
+        (["watch", "locking", "a.log", "--task-timeout", "5"], "--task-timeout"),
+        (
+            ["watch", "locking", "a.log", "--workers", "2", "--task-timeout", "-1"],
+            "--task-timeout",
+        ),
     ],
 )
 def test_inconsistent_flags_exit_2(capsys, argv, needle):

@@ -9,6 +9,8 @@ faults.  Timeouts are deliberately small: the suite must stay fast on a
 single-core CI box where every hang costs a full task timeout.
 """
 
+import time
+
 import pytest
 
 from repro.engine import check_spec
@@ -263,3 +265,34 @@ def test_chaos_requires_a_pooled_engine():
 
 def test_fault_kinds_tuple_is_the_cli_contract():
     assert FAULT_KINDS == ("crash", "hang", "slow", "corrupt")
+
+
+def _sleep_long(x):
+    time.sleep(30)
+    return x
+
+
+def test_pool_shutdown_terminates_stragglers_within_grace():
+    # A worker deep in a task never reads the polite shutdown sentinel (it
+    # only checks its pipe between tasks); shutdown must SIGTERM it within
+    # the grace window instead of waiting out the 30s sleep, and the pool's
+    # statistics must survive for the caller to merge afterwards.
+    pool = SupervisedPool(1, config=FAST, name="test-straggler")
+    try:
+        pool.submit(_sleep_long, (1,))
+        deadline = time.monotonic() + 10.0
+        while pool._slots[0].busy is None:
+            assert time.monotonic() < deadline, "task was never dispatched"
+            pool._pump(block=False)
+            time.sleep(0.01)
+        started = time.monotonic()
+        pool.shutdown()
+        elapsed = time.monotonic() - started
+    finally:
+        pool.shutdown()
+    assert elapsed < 10.0  # grace is 0.5s; nowhere near the 30s sleep
+    assert all(slot.process is None for slot in pool._slots)
+    stats = pool.stats
+    assert stats.tasks == 1
+    assert stats.workers_spawned == 1
+    assert stats.completed == 0

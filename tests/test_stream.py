@@ -1,0 +1,606 @@
+"""Streaming MBTC (ISSUE 8): tailer, adapters, incremental checker, service.
+
+Layered like the subsystem itself:
+
+* :class:`LogTailer` -- rotation, truncation, torn-tail retry schedule and
+  not-yet-existing sources, all driven with explicit clocks (no sleeps).
+* The :class:`LogAdapter` seam -- the ``kv`` proof-of-seam format, unknown
+  adapter names, and the satellite contract that every
+  :class:`LogParseError` carries actionable ``path``/``lineno`` context.
+* :class:`IncrementalChecker` -- verdict parity with the batch checker and
+  the snapshot/restore bit-identity the service checkpoint rides on.
+* :class:`WatchService` end to end -- live appends with rotation and a torn
+  final line, violation detection while the writer is still writing,
+  SIGTERM graceful drain, quarantine records, supervised-pool parity, and
+  the acceptance contract: an interrupted-then-resumed service writes a
+  final report byte-identical to an uninterrupted run's.
+"""
+
+import io
+import json
+import os
+import pickle
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.pipeline import logs as log_module
+from repro.pipeline.cli import main
+from repro.pipeline.logs import (
+    LogIngestError,
+    LogParseError,
+    get_adapter,
+    read_log_files,
+)
+from repro.pipeline.workload import generate_workload
+from repro.resilience import CheckpointError, read_watch_checkpoint
+from repro.stream import (
+    IncrementalChecker,
+    LogTailer,
+    WatchConfig,
+    WatchService,
+)
+from repro.tla.errors import ReproError
+from repro.tla.registry import build_spec, get_entry
+from repro.tla.trace import check_trace
+
+
+def _locking():
+    spec = build_spec("locking")
+    per_node = get_entry("locking").per_node_variables(spec)
+    return spec, per_node
+
+
+def _trace_events(spec, per_node, *, seed, fault_rate=0.0):
+    generated = next(
+        iter(
+            generate_workload(
+                spec, n_traces=1, seed=seed, fault_rate=fault_rate
+            )
+        )
+    )
+    events = log_module.events_from_trace(
+        spec, generated.states, per_node=per_node, actions=generated.actions
+    )
+    return generated, events
+
+
+def _write_log(path, events):
+    log_module.write_log_file(str(path), events)
+    return str(path)
+
+
+def _events_consumed(service):
+    # Thread-safe progress probe: integer reads keyed by the fixed source
+    # list, never iterating a dict the service thread is mutating.
+    return sum(
+        service._checkers[s].events
+        for s in service.sources
+        if s in service._checkers
+    )
+
+
+def _violated_count(service):
+    return sum(
+        1
+        for s in service.sources
+        if s in service._checkers
+        and service._checkers[s].status == "violated"
+    )
+
+
+def _fast_config(**overrides):
+    base = dict(
+        once=True,
+        report_every=0,
+        poll_interval=0.01,
+        partial_retries=2,
+        partial_backoff=0.01,
+        stall_timeout=0,
+    )
+    base.update(overrides)
+    return WatchConfig(**base)
+
+
+# -- LogTailer ----------------------------------------------------------------
+
+
+def test_tailer_emits_complete_lines_and_holds_back_partial(tmp_path):
+    path = tmp_path / "a.log"
+    path.write_text("one\ntwo\npart")
+    tailer = LogTailer(str(path), partial_retries=3, partial_backoff=0.5)
+    batch = tailer.poll(now=0.0)
+    assert [line.text for line in batch.lines] == ["one", "two"]
+    assert [line.lineno for line in batch.lines] == [1, 2]
+    assert tailer.partial == "part"
+    assert not batch.at_eof  # a held-back partial is unfinished business
+    # The writer completes the line: it is emitted whole, never torn.
+    with open(path, "a") as handle:
+        handle.write("ial\n")
+    batch = tailer.poll(now=0.1)
+    assert [line.text for line in batch.lines] == ["partial"]
+    assert batch.lines[0].lineno == 3
+    assert not batch.lines[0].torn
+    assert tailer.torn_lines == 0
+    assert batch.at_eof
+
+
+def test_tailer_declares_torn_line_after_bounded_retries(tmp_path):
+    path = tmp_path / "a.log"
+    path.write_text("good\nbad-tail")
+    tailer = LogTailer(str(path), partial_retries=2, partial_backoff=0.01)
+    batch = tailer.poll(now=0.0)  # emits "good", starts the retry schedule
+    assert [line.text for line in batch.lines] == ["good"]
+    torn = []
+    for tick in range(1, 10):
+        batch = tailer.poll(now=float(tick))
+        torn.extend(line for line in batch.lines if line.torn)
+        if torn:
+            break
+    assert len(torn) == 1
+    assert torn[0].text == "bad-tail"
+    assert torn[0].lineno == 2
+    assert torn[0].offset == os.path.getsize(path)
+    assert tailer.torn_lines == 1
+    assert tailer.partial == ""
+    assert batch.at_eof
+
+
+def test_tailer_follows_rotation_draining_the_old_file_first(tmp_path):
+    path = tmp_path / "a.log"
+    path.write_text("one\ntwo\n")
+    tailer = LogTailer(str(path), partial_backoff=0.01)
+    assert [line.text for line in tailer.poll(now=0.0).lines] == ["one", "two"]
+    # logrotate: rename away, write more to the *old* inode, start a new file.
+    rotated = tmp_path / "a.log.1"
+    os.rename(path, rotated)
+    with open(rotated, "a") as handle:
+        handle.write("late\n")
+    path.write_text("fresh\n")
+    batch = tailer.poll(now=1.0)
+    assert batch.rotated
+    # The old file is drained through the still-open handle before switching.
+    assert [(line.text, line.lineno) for line in batch.lines] == [
+        ("late", 3),
+        ("fresh", 1),
+    ]
+    assert tailer.rotations == 1
+
+
+def test_tailer_rewinds_on_truncation(tmp_path):
+    path = tmp_path / "a.log"
+    path.write_text("aaaa\nbbbb\n")
+    tailer = LogTailer(str(path), partial_backoff=0.01)
+    assert len(tailer.poll(now=0.0).lines) == 2
+    path.write_text("c\n")  # copytruncate-style in-place shrink
+    batch = tailer.poll(now=1.0)
+    assert batch.truncated
+    assert [(line.text, line.lineno) for line in batch.lines] == [("c", 1)]
+    assert tailer.truncations == 1
+
+
+def test_tailer_waits_for_a_source_that_does_not_exist_yet(tmp_path):
+    path = tmp_path / "later.log"
+    tailer = LogTailer(str(path), partial_backoff=0.01)
+    batch = tailer.poll(now=0.0)
+    assert batch.waiting and not batch.lines
+    path.write_text("here\n")
+    batch = tailer.poll(now=1.0)
+    assert [line.text for line in batch.lines] == ["here"]
+
+
+# -- the LogAdapter seam ------------------------------------------------------
+
+
+def test_kv_adapter_parses_key_value_lines():
+    adapter = get_adapter("kv")
+    event = adapter.parse_line(
+        'INFO server ts=1.5 node=0 action=Acquire vars=\'{"held": ["S"]}\'',
+        path="srv.log",
+        lineno=3,
+    )
+    assert event.action == "Acquire"
+    assert event.node == 0
+    assert event.ts == 1.5
+    assert event.vars == {"held": ("S",)}
+    assert event.location == "srv.log:3"
+    assert adapter.parse_line("plain noise without the magic token") is None
+
+
+def test_unknown_adapter_is_a_repro_error():
+    with pytest.raises(ReproError, match="unknown log adapter"):
+        get_adapter("syslog-ng")
+
+
+def test_parse_errors_carry_path_and_lineno_and_survive_pickling():
+    # Satellite: quarantine entries and batch errors must be actionable --
+    # the exception itself says which file and which line.
+    adapter = get_adapter("jsonl")
+    with pytest.raises(LogParseError) as excinfo:
+        adapter.parse_line('{"action": "x", trunca', path="srv.log", lineno=17)
+    assert excinfo.value.path == "srv.log"
+    assert excinfo.value.lineno == 17
+    assert "srv.log:17" in str(excinfo.value)
+    revived = pickle.loads(pickle.dumps(excinfo.value))
+    assert (revived.path, revived.lineno) == ("srv.log", 17)
+
+    with pytest.raises(LogParseError) as excinfo:
+        get_adapter("kv").parse_line("action=Go ts=abc", path="f.log", lineno=9)
+    assert (excinfo.value.path, excinfo.value.lineno) == ("f.log", 9)
+
+
+def test_missing_log_file_is_an_ingest_error_and_cli_exit_2(tmp_path, capsys):
+    # Satellite: a log file that disappears (or never existed) surfaces as a
+    # ReproError -> one-line diagnostic and exit 2, not a traceback.
+    with pytest.raises(LogIngestError, match="cannot read log file"):
+        list(read_log_files([str(tmp_path / "vanished.log")]))
+    # A directory masquerading as a log file is the mid-read-unreadable twin.
+    with pytest.raises(LogIngestError):
+        list(read_log_files([str(tmp_path)]))
+
+    assert main(["trace", "locking", str(tmp_path / "vanished.log")]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "cannot read log file" in err
+
+
+# -- IncrementalChecker -------------------------------------------------------
+
+
+def test_incremental_checker_matches_batch_verdict_on_conforming_trace():
+    spec, per_node = _locking()
+    generated, events = _trace_events(spec, per_node, seed=5)
+    checker = IncrementalChecker(spec, per_node=per_node)
+    for event in events:
+        checker.feed(event)
+    assert checker.status == "conforming"
+    assert checker.events == len(events)
+    batch = check_trace(spec, generated.states)
+    assert batch.ok
+    assert checker.steps == len(generated.states) - 1
+
+
+def test_incremental_checker_flags_seeded_violation_and_freezes():
+    spec, per_node = _locking()
+    # Seed 5 yields a "teleport" fault: the trace still starts at the
+    # initial state (no snapshot anchor), so the invalid jump is visible to
+    # the event-stream fold.  A "drop-head" fault would legitimately rebase.
+    generated, events = _trace_events(spec, per_node, seed=5, fault_rate=1.0)
+    assert generated.fault == "teleport"
+    assert generated.expect_ok is False
+    checker = IncrementalChecker(spec, per_node=per_node)
+    for event in events:
+        checker.feed(event)
+    assert checker.status == "violated"
+    assert checker.violation is not None
+    assert isinstance(checker.violation["step"], int)
+    assert checker.violation["detail"]
+    # Events after the violation are counted but not checked.
+    before = checker.after_violation
+    checker.feed(events[-1])
+    assert checker.after_violation == before + 1
+
+
+def test_incremental_snapshot_restore_is_bit_identical():
+    spec, per_node = _locking()
+    _generated, events = _trace_events(spec, per_node, seed=8)
+    half = len(events) // 2
+    original = IncrementalChecker(spec, per_node=per_node)
+    for event in events[:half]:
+        original.feed(event)
+    restored = IncrementalChecker.restore(
+        spec, original.snapshot(), per_node=per_node
+    )
+    for event in events[half:]:
+        original.feed(event)
+        restored.feed(event)
+    assert restored.to_report() == original.to_report()
+
+
+# -- WatchService -------------------------------------------------------------
+
+
+def test_once_mode_detects_violation_and_quarantines_bad_lines(tmp_path):
+    spec, per_node = _locking()
+    _ok, ok_events = _trace_events(spec, per_node, seed=1)
+    bad, bad_events = _trace_events(spec, per_node, seed=2, fault_rate=1.0)
+    assert bad.fault == "teleport"  # live-detectable (no rebasing anchor)
+    good_path = _write_log(tmp_path / "good.log", ok_events)
+    bad_path = _write_log(tmp_path / "bad.log", bad_events)
+    with open(good_path, "a") as handle:
+        handle.write('{"action": "Acquire", "ts": oops\n')  # malformed event
+        handle.write('{"action": "Acq')  # torn final line, no newline
+    report_path = str(tmp_path / "report.json")
+    quarantine_path = str(tmp_path / "quarantine.jsonl")
+    service = WatchService(
+        spec,
+        [good_path, bad_path],
+        per_node=per_node,
+        config=_fast_config(
+            report_path=report_path, quarantine_path=quarantine_path
+        ),
+        out=io.StringIO(),
+    )
+    assert service.run() == 1  # clean drain, but a trace violated its spec
+
+    report = json.loads(open(report_path).read())
+    assert report["traces"] == {"total": 2, "conforming": 1, "violated": 1}
+    assert report["violations"][0]["source"] == bad_path
+    assert report["totals"]["quarantined_lines"] == 2
+    records = [
+        json.loads(line) for line in open(quarantine_path) if line.strip()
+    ]
+    assert len(records) == 2
+    assert all(record["source"] == good_path for record in records)
+    torn = next(r for r in records if "torn" in r["reason"])
+    assert torn["raw"] == '{"action": "Acq'
+    malformed = next(r for r in records if "truncated" in r["reason"])
+    assert malformed["lineno"] == len(ok_events) + 1
+    assert malformed["offset"] > 0
+
+
+def test_backpressure_bounded_queues_still_drain_everything(tmp_path):
+    # queue_size=1 + batch_limit=1 forces the tailer thread to block on
+    # every line (the backpressure path); the verdict must be unaffected.
+    spec, per_node = _locking()
+    _generated, events = _trace_events(spec, per_node, seed=9)
+    path = _write_log(tmp_path / "slow.log", events)
+    service = WatchService(
+        spec,
+        [path],
+        per_node=per_node,
+        config=_fast_config(queue_size=1, batch_limit=1),
+        out=io.StringIO(),
+    )
+    assert service.run() == 0
+    assert service.report()["totals"]["events"] == len(events)
+
+
+def test_watchdog_flags_a_stalled_source(tmp_path):
+    spec, per_node = _locking()
+    path = tmp_path / "quiet.log"
+    path.write_text("")  # exists but never grows
+    sink = io.StringIO()
+    service = WatchService(
+        spec,
+        [str(path)],
+        per_node=per_node,
+        config=WatchConfig(
+            once=False,
+            report_every=0,
+            poll_interval=0.01,
+            stall_timeout=0.05,
+        ),
+        out=sink,
+    )
+    thread = threading.Thread(target=service.run, daemon=True)
+    thread.start()
+    deadline = time.monotonic() + 5.0
+    while not service._stalled:
+        assert time.monotonic() < deadline, "watchdog never fired"
+        time.sleep(0.01)
+    service.request_stop(signal.SIGTERM)
+    thread.join(timeout=10.0)
+    assert not thread.is_alive()
+    assert "stalled" in sink.getvalue()
+
+
+def test_pool_mode_report_matches_inline_mode(tmp_path):
+    spec, per_node = _locking()
+    _ok, ok_events = _trace_events(spec, per_node, seed=3)
+    bad, bad_events = _trace_events(spec, per_node, seed=10, fault_rate=1.0)
+    assert bad.fault == "teleport"
+    paths = [
+        _write_log(tmp_path / "a.log", ok_events),
+        _write_log(tmp_path / "b.log", bad_events),
+    ]
+    reports = []
+    for workers in (0, 2):
+        service = WatchService(
+            spec,
+            paths,
+            per_node=per_node,
+            config=_fast_config(workers=workers),
+            out=io.StringIO(),
+        )
+        service.run()
+        reports.append(service.report())
+    assert reports[0] == reports[1]  # supervised pool changes nothing
+
+
+def test_resume_refuses_a_foreign_checkpoint(tmp_path):
+    spec, per_node = _locking()
+    _generated, events = _trace_events(spec, per_node, seed=10)
+    path = _write_log(tmp_path / "t.log", events)
+    checkpoint_path = str(tmp_path / "w.ckpt")
+    service = WatchService(
+        spec,
+        [path],
+        per_node=per_node,
+        config=_fast_config(checkpoint_path=checkpoint_path),
+        out=io.StringIO(),
+    )
+    service.run()
+    checkpoint = read_watch_checkpoint(checkpoint_path)
+    with pytest.raises(CheckpointError, match="adapter"):
+        WatchService(
+            spec,
+            [path],
+            per_node=per_node,
+            config=_fast_config(adapter="kv"),
+            resume_from=checkpoint,
+            out=io.StringIO(),
+        )
+    other = build_spec("ot_array")
+    with pytest.raises(CheckpointError, match="refusing to resume"):
+        WatchService(
+            other,
+            [path],
+            per_node=get_entry("ot_array").per_node_variables(other),
+            config=_fast_config(),
+            resume_from=checkpoint,
+            out=io.StringIO(),
+        )
+
+
+def test_interrupted_resume_report_is_bit_identical_to_uninterrupted(tmp_path):
+    """The acceptance contract: SIGTERM mid-stream, then --resume, and the
+    final report is byte-for-byte what an uninterrupted run writes."""
+    spec, per_node = _locking()
+    _ok, ok_events = _trace_events(spec, per_node, seed=21)
+    bad, bad_events = _trace_events(spec, per_node, seed=29, fault_rate=1.0)
+    assert bad.fault == "teleport"
+    paths = [
+        _write_log(tmp_path / "a.log", ok_events),
+        _write_log(tmp_path / "b.log", bad_events),
+    ]
+    with open(paths[0], "a") as handle:
+        handle.write('{"action": "Acq')  # torn final line in both runs
+
+    reference_report = str(tmp_path / "reference.json")
+    WatchService(
+        spec,
+        paths,
+        per_node=per_node,
+        config=_fast_config(report_path=reference_report),
+        out=io.StringIO(),
+    ).run()
+
+    # Live service, throttled so the SIGTERM lands genuinely mid-stream.
+    checkpoint_path = str(tmp_path / "w.ckpt")
+    live = WatchService(
+        spec,
+        paths,
+        per_node=per_node,
+        config=WatchConfig(
+            once=False,
+            report_every=0,
+            poll_interval=0.01,
+            partial_retries=2,
+            partial_backoff=0.01,
+            stall_timeout=0,
+            batch_limit=1,
+            queue_size=2,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=1,
+        ),
+        out=io.StringIO(),
+    )
+    exit_codes = []
+    thread = threading.Thread(
+        target=lambda: exit_codes.append(live.run()), daemon=True
+    )
+    thread.start()
+    deadline = time.monotonic() + 10.0
+    while _events_consumed(live) < 3:
+        assert time.monotonic() < deadline, "service consumed nothing"
+        time.sleep(0.005)
+    live.request_stop(signal.SIGTERM)
+    thread.join(timeout=15.0)
+    assert not thread.is_alive()
+    assert exit_codes == [143]
+
+    resumed_report = str(tmp_path / "resumed.json")
+    resumed = WatchService(
+        spec,
+        paths,
+        per_node=per_node,
+        config=_fast_config(
+            report_path=resumed_report, checkpoint_path=checkpoint_path
+        ),
+        resume_from=read_watch_checkpoint(checkpoint_path),
+        out=io.StringIO(),
+    )
+    assert resumed.run() == 1  # the seeded violation survives the resume
+    with open(reference_report, "rb") as handle:
+        reference_bytes = handle.read()
+    with open(resumed_report, "rb") as handle:
+        resumed_bytes = handle.read()
+    assert resumed_bytes == reference_bytes
+
+
+def test_live_appends_with_rotation_detect_violation_then_drain(tmp_path):
+    """A writer appends while the service tails: rotation mid-trace, the
+    seeded violation is reported live, SIGTERM drains cleanly, and a resume
+    of the drained checkpoint reproduces the drained report bit-for-bit."""
+    spec, per_node = _locking()
+    bad, events = _trace_events(spec, per_node, seed=5, fault_rate=1.0)
+    assert bad.fault == "teleport"
+    assert len(events) >= 8  # rotation must land mid-trace
+    lines = [log_module.format_event(event) for event in events]
+    path = tmp_path / "live.log"
+    path.write_text("")
+    report_path = str(tmp_path / "report.json")
+    checkpoint_path = str(tmp_path / "w.ckpt")
+    service = WatchService(
+        spec,
+        [str(path)],
+        per_node=per_node,
+        config=WatchConfig(
+            once=False,
+            report_every=0,
+            poll_interval=0.01,
+            partial_retries=2,
+            partial_backoff=0.01,
+            stall_timeout=0,
+            report_path=report_path,
+            checkpoint_path=checkpoint_path,
+        ),
+        out=io.StringIO(),
+    )
+    exit_codes = []
+    thread = threading.Thread(
+        target=lambda: exit_codes.append(service.run()), daemon=True
+    )
+    thread.start()
+
+    half = len(lines) // 2
+    with open(path, "a") as handle:
+        for line in lines[:half]:
+            handle.write(line + "\n")
+    deadline = time.monotonic() + 10.0
+    while _events_consumed(service) < half:
+        assert time.monotonic() < deadline, "first half never consumed"
+        time.sleep(0.005)
+    # logrotate under the service's feet, then keep writing the same trace.
+    os.rename(path, tmp_path / "live.log.1")
+    with open(path, "w") as handle:
+        for line in lines[half:]:
+            handle.write(line + "\n")
+        handle.write('{"action": "torn')  # writer dies mid-line
+    while _violated_count(service) < 1:
+        assert time.monotonic() < deadline, "violation never detected live"
+        time.sleep(0.005)
+    # Wait for the torn tail to be surrendered and quarantined too.
+    while service.quarantine.count < 1:
+        assert time.monotonic() < deadline, "torn line never quarantined"
+        time.sleep(0.005)
+    service.request_stop(signal.SIGTERM)
+    thread.join(timeout=15.0)
+    assert not thread.is_alive()
+    assert exit_codes == [143]
+    assert service.runtime_info()["rotations"] == 1
+
+    with open(report_path, "rb") as handle:
+        drained_bytes = handle.read()
+    drained = json.loads(drained_bytes)
+    assert drained["totals"]["events"] == len(events)
+    assert drained["traces"]["violated"] == 1
+    assert drained["totals"]["quarantined_lines"] == 1
+
+    # Resuming the drained checkpoint (nothing left to read) must rewrite
+    # the exact same bytes: the report is a pure function of consumed data.
+    resumed_report = str(tmp_path / "resumed.json")
+    resumed = WatchService(
+        spec,
+        [str(path)],
+        per_node=per_node,
+        config=_fast_config(report_path=resumed_report),
+        resume_from=read_watch_checkpoint(checkpoint_path),
+        out=io.StringIO(),
+    )
+    assert resumed.run() == 1
+    with open(resumed_report, "rb") as handle:
+        assert handle.read() == drained_bytes
