@@ -15,8 +15,11 @@ Layers, bottom to top:
 * :mod:`repro.mbtcg` -- model-based test-case generation: enumerates spec
   behaviours from the retained state graph into deduplicated corpora, pytest
   source and per-node logs, all replayable back through MBTC.
+* :mod:`repro.obs` -- the unified telemetry layer threaded through all of
+  the above: run-scoped metrics, phase spans, live progress, schema-versioned
+  JSONL sinks and profiling hooks, strictly additive over every output.
 """
 
-__version__ = "0.7.0"
+__version__ = "0.8.0"
 
 __all__ = ["__version__"]

@@ -12,9 +12,9 @@ hands it to the selected :class:`~repro.engine.base.Engine`.
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
+from ..obs import current as obs_current, span
 from ..resilience.checkpoint import Checkpoint, read_checkpoint
 from ..resilience.faults import FaultPlan
 from ..resilience.supervisor import SupervisionConfig
@@ -261,14 +261,16 @@ class ModelChecker:
             ctx.parents = store.parent_map()
         if self.resume_path is not None:
             self._restore(ctx, result)
-        started = time.perf_counter()
+        timer = span("check.run")
         try:
-            get_engine(self.resolved_engine)().run(ctx)
+            with timer:
+                get_engine(self.resolved_engine)().run(ctx)
         except KeyboardInterrupt:
-            result.duration_seconds = time.perf_counter() - started
+            result.duration_seconds = timer.elapsed
             result.interrupted = True
             result.truncated = True
             result.distinct_states = ctx.store.distinct_count
+            self._record_telemetry(result)
             raise CheckInterrupted(
                 f"check of {self.spec.name!r} interrupted after "
                 f"{result.distinct_states} distinct states",
@@ -276,7 +278,8 @@ class ModelChecker:
             ) from None
         finally:
             self._finalize_store(ctx, result)
-        result.duration_seconds = time.perf_counter() - started
+        result.duration_seconds = timer.elapsed
+        self._record_telemetry(result)
 
         # Temporal properties ------------------------------------------------
         if (
@@ -308,6 +311,67 @@ class ModelChecker:
         close = getattr(store, "close", None)
         if close is not None:
             close()
+        run = obs_current()
+        if run is not None:
+            reg = run.registry
+            if result.store_evictions:
+                reg.inc("store.evictions", result.store_evictions)
+            # The gauge mirrors the reported figure (read before close, like
+            # the summary line); the counters are folded after close so the
+            # final flush the close performs is counted too.
+            reg.set_gauge("store.io_seconds", result.store_io_seconds)
+            for attr, metric in (
+                ("flushes", "store.flushes"),
+                ("bloom_negatives", "store.bloom_negatives"),
+                ("disk_probes", "store.disk_probes"),
+                ("hot_hits", "store.hot_hits"),
+                ("pending_hits", "store.pending_hits"),
+            ):
+                value = getattr(store, attr, 0)
+                if value:
+                    reg.inc(metric, value)
+            negatives = getattr(store, "bloom_negatives", 0)
+            probes = getattr(store, "disk_probes", 0)
+            if negatives or probes:
+                # Fraction of cold membership checks the Bloom filter
+                # answered without touching SQLite.
+                reg.set_gauge(
+                    "store.bloom_hit_rate", negatives / (negatives + probes)
+                )
+
+    @staticmethod
+    def _record_telemetry(result: CheckResult) -> None:
+        """Fold the finished (or interrupted) result into the active run."""
+        run = obs_current()
+        if run is None:
+            return
+        run.labels.update(
+            {"spec": result.spec_name, "engine": result.engine, "store": result.store}
+        )
+        reg = run.registry
+        reg.inc("check.runs")
+        reg.inc("check.generated_states", result.generated_states)
+        reg.inc("check.distinct_states", result.distinct_states)
+        reg.set_gauge("check.max_depth", result.max_depth)
+        reg.set_gauge("check.peak_frontier", result.peak_frontier)
+        reg.set_gauge("check.duration_seconds", result.duration_seconds)
+        if result.duration_seconds > 0:
+            reg.set_gauge(
+                "check.states_per_second",
+                result.generated_states / result.duration_seconds,
+            )
+        if result.walks:
+            reg.inc("check.walks", result.walks)
+        if result.frontier_spilled_states:
+            reg.inc("frontier.spilled_states", result.frontier_spilled_states)
+        for flag, metric in (
+            (result.truncated, "check.truncated"),
+            (result.interrupted, "check.interrupted"),
+            (result.invariant_violation is not None, "check.invariant_violations"),
+            (result.deadlock is not None, "check.deadlocks"),
+        ):
+            if flag:
+                reg.inc(metric)
 
     def _restore(self, ctx: CheckContext, result: CheckResult) -> None:
         """Load ``resume_path`` into the context: store, parents, statistics.

@@ -42,9 +42,9 @@ import os
 import sqlite3
 import tempfile
 from collections import OrderedDict
-from time import perf_counter
 from typing import Any, Dict, Iterable, Optional, Tuple
 
+from ..obs import span
 from ..tla.errors import CheckerError
 
 __all__ = ["DEFAULT_WRITE_CACHE", "DiskFingerprintStore", "DiskStoreError"]
@@ -216,6 +216,14 @@ class DiskFingerprintStore:
         #: store-bound vs CPU-bound.
         self.io_seconds = 0.0
         self.flushes = 0
+        #: Telemetry counters: cold membership checks the Bloom filter
+        #: answered without SQLite, actual indexed SELECT probes, and hits
+        #: absorbed by the two in-memory caches.  Folded into the metrics
+        #: registry (as ``store.*``) when an observability run is active.
+        self.bloom_negatives = 0
+        self.disk_probes = 0
+        self.hot_hits = 0
+        self.pending_hits = 0
 
         existing = self._load_header()
         if existing is None:
@@ -287,14 +295,19 @@ class DiskFingerprintStore:
         self._ensure_fresh()
         pending = self._pending
         if fp in pending:
+            self.pending_hits += 1
             return False
         hot = self._hot
         if fp in hot:
             hot.move_to_end(fp)
+            self.hot_hits += 1
             return False
-        if self._bloom.might_contain(fp) and self._on_disk(fp):
-            self._hot_put(fp)
-            return False
+        if self._bloom.might_contain(fp):
+            if self._on_disk(fp):
+                self._hot_put(fp)
+                return False
+        else:
+            self.bloom_negatives += 1
         self._bloom.add(fp)
         self._seq += 1
         pending[fp] = self._seq
@@ -318,11 +331,12 @@ class DiskFingerprintStore:
         return self._added
 
     def _on_disk(self, fp: int) -> bool:
-        started = perf_counter()
-        row = self._conn.execute(
-            "SELECT 1 FROM fps WHERE fp = ?", (_to_signed(fp),)
-        ).fetchone()
-        self.io_seconds += perf_counter() - started
+        self.disk_probes += 1
+        with span("store.lookup", emit=False) as sp:
+            row = self._conn.execute(
+                "SELECT 1 FROM fps WHERE fp = ?", (_to_signed(fp),)
+            ).fetchone()
+        self.io_seconds += sp.elapsed
         return row is not None
 
     def _hot_put(self, fp: int) -> None:
@@ -335,34 +349,34 @@ class DiskFingerprintStore:
         """Write both pending buffers to the database in one batch."""
         if not self._pending and not self._parent_pending:
             return
-        started = perf_counter()
-        conn = self._conn
-        if self._pending:
-            conn.executemany(
-                "INSERT OR IGNORE INTO fps(fp, seq) VALUES(?, ?)",
-                [(_to_signed(fp), seq) for fp, seq in self._pending.items()],
-            )
-            for fp in self._pending:
-                self._hot_put(fp)
-            self._pending.clear()
-        if self._parent_pending:
-            conn.executemany(
-                "INSERT OR REPLACE INTO parents(fp, parent, action, seq) "
-                "VALUES(?, ?, ?, ?)",
-                [
-                    (
-                        _to_signed(fp),
-                        None if parent is None else _to_signed(parent),
-                        action,
-                        seq,
-                    )
-                    for fp, (parent, action, seq) in self._parent_pending.items()
-                ],
-            )
-            self._parent_pending.clear()
-        conn.commit()
-        self.flushes += 1
-        self.io_seconds += perf_counter() - started
+        with span("store.flush", emit=False) as sp:
+            conn = self._conn
+            if self._pending:
+                conn.executemany(
+                    "INSERT OR IGNORE INTO fps(fp, seq) VALUES(?, ?)",
+                    [(_to_signed(fp), seq) for fp, seq in self._pending.items()],
+                )
+                for fp in self._pending:
+                    self._hot_put(fp)
+                self._pending.clear()
+            if self._parent_pending:
+                conn.executemany(
+                    "INSERT OR REPLACE INTO parents(fp, parent, action, seq) "
+                    "VALUES(?, ?, ?, ?)",
+                    [
+                        (
+                            _to_signed(fp),
+                            None if parent is None else _to_signed(parent),
+                            action,
+                            seq,
+                        )
+                        for fp, (parent, action, seq) in self._parent_pending.items()
+                    ],
+                )
+                self._parent_pending.clear()
+            conn.commit()
+            self.flushes += 1
+        self.io_seconds += sp.elapsed
 
     # -- the parent-map seam -------------------------------------------------
     def parent_map(self) -> _DiskParentMap:
@@ -396,11 +410,11 @@ class DiskFingerprintStore:
         entry = self._parent_pending.get(fp)
         if entry is not None:
             return entry[0], entry[1]
-        started = perf_counter()
-        row = self._conn.execute(
-            "SELECT parent, action FROM parents WHERE fp = ?", (_to_signed(fp),)
-        ).fetchone()
-        self.io_seconds += perf_counter() - started
+        with span("store.parent_lookup", emit=False) as sp:
+            row = self._conn.execute(
+                "SELECT parent, action FROM parents WHERE fp = ?", (_to_signed(fp),)
+            ).fetchone()
+        self.io_seconds += sp.elapsed
         if row is None:
             raise KeyError(fp)
         parent = None if row[0] is None else _to_unsigned(row[0])
@@ -464,21 +478,21 @@ class DiskFingerprintStore:
                 f"{self.identity}; this is not the store file of the "
                 "checkpointed run"
             )
-        started = perf_counter()
-        conn = self._conn
-        conn.execute("DELETE FROM fps WHERE seq > ?", (data["seq"],))
-        conn.execute("DELETE FROM parents WHERE seq > ?", (data["seq"],))
-        conn.commit()
-        self._seq = data["seq"]
-        self._added = data["added"]
-        self._parents_added = data.get("parents_added", 0)
-        self._pending.clear()
-        self._parent_pending.clear()
-        self._hot.clear()
-        self._bloom = _Bloom()
-        for (signed,) in conn.execute("SELECT fp FROM fps"):
-            self._bloom.add(_to_unsigned(signed))
-        self.io_seconds += perf_counter() - started
+        with span("store.restore", emit=False) as sp:
+            conn = self._conn
+            conn.execute("DELETE FROM fps WHERE seq > ?", (data["seq"],))
+            conn.execute("DELETE FROM parents WHERE seq > ?", (data["seq"],))
+            conn.commit()
+            self._seq = data["seq"]
+            self._added = data["added"]
+            self._parents_added = data.get("parents_added", 0)
+            self._pending.clear()
+            self._parent_pending.clear()
+            self._hot.clear()
+            self._bloom = _Bloom()
+            for (signed,) in conn.execute("SELECT fp FROM fps"):
+                self._bloom.add(_to_unsigned(signed))
+        self.io_seconds += sp.elapsed
         self._stale = False
 
     # -- lifecycle -----------------------------------------------------------

@@ -18,6 +18,7 @@ keeps peak RSS flat into the millions of distinct states.
 
 from __future__ import annotations
 
+from ..obs import COUNT_BUCKETS, current as obs_current, span
 from .base import CheckContext, Engine, register_engine
 
 __all__ = ["FingerprintEngine"]
@@ -36,14 +37,26 @@ class FingerprintEngine(Engine):
     def run(self, ctx: CheckContext) -> None:
         spec, result, store = ctx.spec, ctx.result, ctx.store
         frontier, stop, depth, action_counts = ctx.start_frontier()
+        obs_run = obs_current()
+        ticker = obs_run.progress if obs_run is not None else None
 
         # Breadth-first exploration, one depth level per batch --------------
         while frontier and not stop:
             if ctx.max_depth is not None and depth >= ctx.max_depth:
                 result.truncated = True
                 break
+            level_size = len(frontier)
+            level_span = span("engine.level", emit=False)
+            level_span.__enter__()
             next_frontier = ctx.new_frontier()
             for state, fp in frontier:
+                if ticker is not None and ticker.due():
+                    ticker.emit(
+                        depth=depth,
+                        frontier=level_size,
+                        distinct=store.distinct_count,
+                        generated=result.generated_states,
+                    )
                 if ctx.max_states is not None and store.distinct_count >= ctx.max_states:
                     result.truncated = True
                     stop = True
@@ -88,6 +101,12 @@ class FingerprintEngine(Engine):
             ctx.note_frontier(frontier)
             result.peak_frontier = max(result.peak_frontier, len(frontier))
             depth += 1
+            level_span.__exit__(None, None, None)
+            if obs_run is not None:
+                reg = obs_run.registry
+                reg.inc("engine.levels")
+                reg.observe("engine.level_states", level_size, edges=COUNT_BUCKETS)
+                reg.set_gauge("engine.frontier_depth", depth)
             if not stop:
                 ctx.maybe_checkpoint(depth, frontier, action_counts)
 

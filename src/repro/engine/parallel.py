@@ -32,6 +32,7 @@ import itertools
 import os
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from ..obs import COUNT_BUCKETS, current as obs_current, span
 from ..resilience import SupervisedPool, TaskError
 from ..tla.spec import Specification
 from ..tla.state import State
@@ -121,6 +122,8 @@ class ParallelEngine(Engine):
         result.workers = workers
         frontier, stop, depth, action_counts = ctx.start_frontier()
         inline_verdicts: Dict[int, Tuple[Optional[str], bool]] = {}
+        obs_run = obs_current()
+        ticker = obs_run.progress if obs_run is not None else None
 
         pool: Optional[SupervisedPool] = None
         pooling = True  # cleared for good once the pool degrades
@@ -129,6 +132,9 @@ class ParallelEngine(Engine):
                 if ctx.max_depth is not None and depth >= ctx.max_depth:
                     result.truncated = True
                     break
+                level_size = len(frontier)
+                level_span = span("engine.level", emit=False)
+                level_span.__enter__()
                 if pooling and pool is None and len(frontier) >= workers * _INLINE_FRONTIER:
                     from ..tla.registry import PROVIDER_MODULES
 
@@ -144,6 +150,13 @@ class ParallelEngine(Engine):
                 for fp, entries in self._expand_level(
                     ctx, pool, workers, frontier, inline_verdicts
                 ):
+                    if ticker is not None and ticker.due():
+                        ticker.emit(
+                            depth=depth,
+                            frontier=level_size,
+                            distinct=store.distinct_count,
+                            generated=result.generated_states,
+                        )
                     if (
                         ctx.max_states is not None
                         and store.distinct_count >= ctx.max_states
@@ -186,6 +199,12 @@ class ParallelEngine(Engine):
                 ctx.note_frontier(frontier)
                 result.peak_frontier = max(result.peak_frontier, len(frontier))
                 depth += 1
+                level_span.__exit__(None, None, None)
+                if obs_run is not None:
+                    reg = obs_run.registry
+                    reg.inc("engine.levels")
+                    reg.observe("engine.level_states", level_size, edges=COUNT_BUCKETS)
+                    reg.set_gauge("engine.frontier_depth", depth)
                 if pool is not None and pool.degraded:
                     # Too many consecutive pool failures: finish serially
                     # in the coordinator rather than feeding a dead pool.

@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List, Optional, Tuple
 
+from ..obs import current as obs_current
 from ..tla.errors import DeadlockError, InvariantViolation
 from ..tla.graph import StateGraph
 from ..tla.state import State
@@ -71,12 +72,21 @@ class SerialStatesEngine(Engine):
                 queue.append(state)
         result.peak_frontier = len(queue)
 
+        obs_run = obs_current()
+        ticker = obs_run.progress if obs_run is not None else None
+
         # Breadth-first exploration -----------------------------------------
         while queue:
             if ctx.max_states is not None and store.distinct_count >= ctx.max_states:
                 result.truncated = True
                 break
             state = queue.popleft()
+            if ticker is not None and ticker.due():
+                ticker.emit(
+                    queued=len(queue),
+                    distinct=store.distinct_count,
+                    generated=result.generated_states,
+                )
             state_id = store.id_of(state)
             depth = depths[state_id]
             if ctx.max_depth is not None and depth >= ctx.max_depth:

@@ -31,6 +31,7 @@ from __future__ import annotations
 import random
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs import current as obs_current
 from ..resilience import SupervisedPool, TaskError
 from ..tla.errors import DeadlockError, InvariantViolation
 from ..tla.spec import Specification
@@ -181,6 +182,10 @@ def _drive_walks(
     generated = 0
     walks_run = 0
     max_steps = 0
+    # Progress heartbeats only on the coordinator's inline path: pool shards
+    # run in child processes, where no telemetry run is ever active.
+    obs_run = obs_current() if store is not None else None
+    ticker = obs_run.progress if obs_run is not None else None
     unique_fps: Dict[int, None] = {}
     verdicts: Dict[int, Tuple[Optional[str], bool]] = {}
     action_counts: Dict[str, int] = {}
@@ -194,6 +199,12 @@ def _drive_walks(
         walks_run += 1
         generated += walk_generated
         max_steps = max(max_steps, steps)
+        if ticker is not None and ticker.due():
+            ticker.emit(
+                walks=walks_run,
+                distinct=store.distinct_count,
+                generated=generated,
+            )
         if store is not None:
             for fp in walk_fps:
                 store.add(fp)

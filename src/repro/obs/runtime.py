@@ -1,0 +1,283 @@
+"""Run-scoped telemetry runtime: the active run, spans, and progress.
+
+One :class:`ObsRun` is active per process at most.  It owns the run id, the
+:class:`~repro.obs.metrics.MetricsRegistry` every layer folds into, the
+sink the event stream goes to, and (optionally) the stderr progress
+ticker.  Instrumented call sites never hold a reference to it -- they ask
+:func:`current` and no-op when it returns ``None``, which is what keeps
+every existing output byte-identical when no observability flag is set.
+
+Child processes participate through the environment channel: activating a
+run exports ``REPRO_METRICS_OUT`` and ``REPRO_RUN_ID``, supervised workers
+pick those up via :func:`worker_telemetry_from_env`, accumulate into a
+private registry, and ship a pickled snapshot up the existing result pipe
+at shutdown; the coordinator merges snapshots whose run id matches the
+active run (see ``repro.resilience.supervisor``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from typing import Any, Dict, Optional, TextIO, Tuple
+
+from .metrics import MetricsRegistry
+from .schema import SCHEMA_VERSION
+from .sink import JsonlSink, NullSink, Sink
+
+__all__ = [
+    "ENV_METRICS_OUT",
+    "ENV_RUN_ID",
+    "ObsRun",
+    "ProgressTicker",
+    "current",
+    "reset_for_child_process",
+    "span",
+    "start_run",
+    "worker_telemetry_from_env",
+]
+
+#: Environment channel: a path here makes supervised child workers collect
+#: telemetry and ship it back to the coordinator; the CLI also treats it as
+#: a default for ``--metrics-out``.
+ENV_METRICS_OUT = "REPRO_METRICS_OUT"
+
+#: Overrides the generated run id -- children inherit it so their snapshots
+#: reconcile with the coordinator's run, and tests pin it for determinism.
+ENV_RUN_ID = "REPRO_RUN_ID"
+
+_CURRENT: Optional["ObsRun"] = None
+
+
+def current() -> Optional["ObsRun"]:
+    """The process's active telemetry run, or ``None`` (the fast path)."""
+    return _CURRENT
+
+
+class ProgressTicker:
+    """Rate-limited heartbeat line on stderr for long explorations.
+
+    Engines call :meth:`due` once per expanded state -- a clock read and a
+    compare -- and :meth:`emit` only when the interval elapsed, so the
+    heartbeat costs nothing measurable even on million-state runs.
+    """
+
+    __slots__ = ("interval", "label", "_stream", "_start", "_deadline")
+
+    def __init__(
+        self, interval: float, *, label: str = "", stream: Optional[TextIO] = None
+    ) -> None:
+        self.interval = float(interval)
+        self.label = label
+        self._stream = stream
+        self._start = time.perf_counter()
+        self._deadline = self._start + self.interval
+
+    def due(self) -> bool:
+        return time.perf_counter() >= self._deadline
+
+    def emit(self, **fields: Any) -> None:
+        now = time.perf_counter()
+        self._deadline = now + self.interval
+        elapsed = now - self._start
+        parts = [f"{key}={value}" for key, value in fields.items()]
+        generated = fields.get("generated")
+        if generated and elapsed > 0:
+            parts.append(f"rate={generated / elapsed:.0f}/s")
+        parts.append(f"elapsed={elapsed:.1f}s")
+        prefix = f"progress[{self.label}]" if self.label else "progress"
+        stream = self._stream if self._stream is not None else sys.stderr
+        print(prefix + " " + " ".join(parts), file=stream, flush=True)
+
+
+class span:
+    """Phase timer: nests, aggregates, and (optionally) emits an event.
+
+    Usage is plain ``with span("check.run") as sp: ...``; afterwards
+    ``sp.elapsed`` holds the wall-clock duration.  With no active run this
+    is exactly two ``perf_counter`` calls around the body -- cheap enough
+    that ``engine/core.py`` and ``engine/diskstore.py`` use it as their
+    only timing primitive.  With a run active, the duration is folded into
+    the ``span.<name>.seconds`` histogram, and when ``emit=True`` a
+    ``span`` record carrying the run id, nesting parent and depth goes to
+    the sink.  Hot, high-frequency phases (store probes, BFS levels) pass
+    ``emit=False`` to aggregate without flooding the event stream.
+    """
+
+    __slots__ = ("name", "emit_event", "elapsed", "_started", "_run", "_parent", "_depth")
+
+    def __init__(self, name: str, *, emit: bool = True) -> None:
+        self.name = name
+        self.emit_event = emit
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "span":
+        run = _CURRENT
+        self._run = run
+        if run is not None:
+            stack = run.span_stack
+            self._parent = stack[-1] if stack else None
+            self._depth = len(stack)
+            stack.append(self.name)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.elapsed = time.perf_counter() - self._started
+        run = self._run
+        if run is not None:
+            stack = run.span_stack
+            if self.name in stack:
+                # Truncate at our own frame: an exception (e.g. an interrupt
+                # mid-BFS-level) can leave inner spans unexited, and they must
+                # not pollute the parent/depth of later spans in this run.
+                del stack[len(stack) - 1 - stack[::-1].index(self.name):]
+            run.registry.observe(f"span.{self.name}.seconds", self.elapsed)
+            if self.emit_event:
+                run.emit(
+                    "span",
+                    name=self.name,
+                    parent=self._parent,
+                    depth=self._depth,
+                    seconds=round(self.elapsed, 6),
+                    error=exc_type.__name__ if exc_type is not None else None,
+                )
+        return False
+
+
+class ObsRun:
+    """A single activated telemetry run (one CLI invocation, typically)."""
+
+    def __init__(
+        self,
+        *,
+        command: str,
+        run_id: str,
+        sink: Sink,
+        progress_every: float = 0.0,
+        labels: Optional[Dict[str, Any]] = None,
+        progress_stream: Optional[TextIO] = None,
+    ) -> None:
+        self.command = command
+        self.run_id = run_id
+        self.sink = sink
+        self.registry = MetricsRegistry()
+        self.labels: Dict[str, Any] = dict(labels or {})
+        self.span_stack: list = []
+        self.progress: Optional[ProgressTicker] = (
+            ProgressTicker(progress_every, label=run_id, stream=progress_stream)
+            if progress_every and progress_every > 0
+            else None
+        )
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._closed = False
+        self._saved_env: Dict[str, Optional[str]] = {}
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Stamp and forward one record to the sink (thread-safe)."""
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+        record: Dict[str, Any] = {
+            "v": SCHEMA_VERSION,
+            "run": self.run_id,
+            "seq": seq,
+            "ts": time.time(),
+            "kind": kind,
+        }
+        record.update(fields)
+        self.sink.emit(record)
+
+    def close(self, *, exit_code: Optional[int] = None, status: str = "ok") -> None:
+        """Emit the merged metrics + ``run_end`` records and deactivate."""
+        global _CURRENT
+        if self._closed:
+            return
+        self._closed = True
+        self.emit("metrics", labels=dict(self.labels), **self.registry.snapshot())
+        self.emit("run_end", status=status, exit_code=exit_code)
+        self.sink.close()
+        for key, previous in self._saved_env.items():
+            if previous is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = previous
+        self._saved_env = {}
+        if _CURRENT is self:
+            _CURRENT = None
+
+
+def start_run(
+    *,
+    command: str,
+    sink_path: Optional[str] = None,
+    sink: Optional[Sink] = None,
+    run_id: Optional[str] = None,
+    progress_every: float = 0.0,
+    labels: Optional[Dict[str, Any]] = None,
+    progress_stream: Optional[TextIO] = None,
+) -> ObsRun:
+    """Activate a telemetry run for this process and emit ``run_start``.
+
+    Exactly one run may be active at a time; the run id comes from the
+    explicit argument, then ``REPRO_RUN_ID``, then fresh randomness.  While
+    active, the environment channel is exported so child processes spawned
+    by supervised pools report back into this run; ``close()`` restores the
+    previous environment.
+    """
+    global _CURRENT
+    if _CURRENT is not None:
+        raise RuntimeError(
+            f"telemetry run {_CURRENT.run_id!r} is already active in this process"
+        )
+    resolved_id = run_id or os.environ.get(ENV_RUN_ID) or os.urandom(6).hex()
+    if sink is None:
+        sink = JsonlSink(sink_path) if sink_path else NullSink()
+    run = ObsRun(
+        command=command,
+        run_id=resolved_id,
+        sink=sink,
+        progress_every=progress_every,
+        labels=labels,
+        progress_stream=progress_stream,
+    )
+    for key, value in ((ENV_RUN_ID, resolved_id), (ENV_METRICS_OUT, sink_path)):
+        if value is None:
+            continue
+        run._saved_env[key] = os.environ.get(key)
+        os.environ[key] = value
+    _CURRENT = run
+    run.emit("run_start", command=command, labels=dict(run.labels), pid=os.getpid())
+    return run
+
+
+def worker_telemetry_from_env(
+    environ: Optional[Dict[str, str]] = None,
+) -> Optional[Tuple[str, MetricsRegistry]]:
+    """Child-process half of the env channel.
+
+    Returns ``(run_id, registry)`` when a coordinator exported
+    ``REPRO_METRICS_OUT``, else ``None``.  The worker accumulates into the
+    registry and ships ``registry.snapshot()`` tagged with the run id back
+    over its result pipe; it never opens the metrics file itself, so there
+    is exactly one writer per JSONL stream.
+    """
+    env = os.environ if environ is None else environ
+    if not env.get(ENV_METRICS_OUT):
+        return None
+    return env.get(ENV_RUN_ID, ""), MetricsRegistry()
+
+
+def reset_for_child_process() -> None:
+    """Drop any fork-inherited active run.
+
+    On fork start methods the child inherits ``_CURRENT`` (and with it an
+    open sink handle).  Worker mains call this first so the parent's run --
+    and its single-writer guarantee on the JSONL file -- is never touched
+    from a child; workers use :func:`worker_telemetry_from_env` instead.
+    """
+    global _CURRENT
+    _CURRENT = None

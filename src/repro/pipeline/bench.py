@@ -24,7 +24,11 @@ stands after every PR: it times
   that the disk store trades bounded memory for bounded slowdown,
 * streaming (schema v6): the ``repro watch`` service draining a directory of
   pre-written trace logs in ``--once`` mode -- events/sec through the tail ->
-  parse -> incremental-check path, the throughput bound of live MBTC,
+  parse -> incremental-check path, the throughput bound of live MBTC, and
+* observability (schema v7): the same exploration bare vs under an active
+  telemetry run with a JSONL sink -- the wall-clock cost of the
+  instrumentation threaded through every layer, pinned under a few percent
+  with a bit-identical statistics verdict per row,
 
 on the registered specification families, and writes one JSON document
 (``BENCH_results.json``) with wall times, states/sec, walks/sec, traces/sec,
@@ -57,15 +61,27 @@ from ..tla.registry import build_spec
 from .runner import check_traces
 from .workload import generate_workload
 
-__all__ = ["BenchConfig", "run_bench", "summarize", "write_results"]
+__all__ = [
+    "BenchConfig",
+    "OBS_OVERHEAD_BUDGET",
+    "run_bench",
+    "summarize",
+    "write_results",
+]
 
-#: v6: a ``streaming`` stage joins the document (the watch service draining
-#: trace logs in once mode, events/sec per spec).  v5 added ``store_scaling``
-#: (in-memory vs disk store with peak-memory and store-bound/CPU-bound regime
-#: per row) and ``store_io_seconds`` + ``regime`` on every model-checking
-#: row; v4 the ``chaos`` stage; v3 the resolved ``store`` per row and the
-#: ``simulation`` stage.
-SCHEMA_VERSION = 6
+#: v7: an ``observability`` stage joins the document (instrumented vs bare
+#: wall clock with the telemetry sink enabled, overhead pinned against
+#: ``OBS_OVERHEAD_BUDGET``).  v6 added ``streaming`` (the watch service
+#: draining trace logs in once mode, events/sec per spec); v5
+#: ``store_scaling`` (in-memory vs disk store with peak-memory and
+#: store-bound/CPU-bound regime per row) and ``store_io_seconds`` +
+#: ``regime`` on every model-checking row; v4 the ``chaos`` stage; v3 the
+#: resolved ``store`` per row and the ``simulation`` stage.
+SCHEMA_VERSION = 7
+
+#: The observability stage's acceptance bar: instrumented wall clock within
+#: 3% of the bare run on the same spec.
+OBS_OVERHEAD_BUDGET = 1.03
 
 #: (registry name, params) pairs benchmarked by default.  The second locking
 #: configuration triples the thread count so the parallel engine has a state
@@ -136,6 +152,14 @@ class BenchConfig:
     store_capacity: Optional[int] = None
     #: Trace-log files drained per spec by the streaming stage.
     streaming_traces: int = 80
+    #: Configurations timed bare vs instrumented by the observability stage
+    #: (one mid-sized BFS is enough to resolve a 3% overhead).
+    observability_specs: Sequence[Tuple[str, Dict[str, Any]]] = (
+        ("locking", {"n_threads": 3}),
+    )
+    #: Best-of-N walls per observability variant (times the floor, not
+    #: scheduler noise).
+    observability_repeats: int = 3
     smoke: bool = False
 
     @classmethod
@@ -476,6 +500,92 @@ def _time_streaming(
         shutil.rmtree(tmp, ignore_errors=True)
 
 
+def _time_observability(
+    name: str, params: Dict[str, Any], repeats: int = 3
+) -> Dict[str, Any]:
+    """One observability row: the same BFS bare vs fully instrumented.
+
+    The instrumented variant runs under an active telemetry run with a real
+    JSONL sink -- the worst case the overhead budget must hold for: every
+    ``obs.current()`` gate open, per-level spans and counters live, and the
+    final metrics snapshot serialized.  Both variants take the best of
+    ``repeats`` walls, and ``bit_identical`` confirms instrumentation never
+    changes a statistic.
+    """
+    import shutil
+    import tempfile
+
+    from ..obs import start_run
+
+    def stats_key(result: Any) -> Tuple[Any, ...]:
+        return (
+            result.distinct_states,
+            result.generated_states,
+            result.max_depth,
+            result.peak_frontier,
+            dict(result.action_counts),
+            result.ok,
+        )
+
+    baseline = None
+    for _ in range(repeats):
+        result = check_spec(
+            build_spec(name, **params), check_properties=False, engine="fingerprint"
+        )
+        if baseline is None or result.duration_seconds < baseline.duration_seconds:
+            baseline = result
+
+    instrumented = None
+    records = 0
+    tmp = tempfile.mkdtemp(prefix="repro-bench-obs-")
+    try:
+        for index in range(repeats):
+            path = os.path.join(tmp, f"metrics-{index}.jsonl")
+            run = start_run(
+                command="bench observability",
+                sink_path=path,
+                run_id=f"bench-obs-{index}",
+            )
+            try:
+                result = check_spec(
+                    build_spec(name, **params),
+                    check_properties=False,
+                    engine="fingerprint",
+                )
+            finally:
+                run.close(exit_code=0)
+            if (
+                instrumented is None
+                or result.duration_seconds < instrumented.duration_seconds
+            ):
+                instrumented = result
+                with open(path, "r", encoding="utf-8") as handle:
+                    records = sum(1 for line in handle if line.strip())
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    base_wall = baseline.duration_seconds
+    instr_wall = instrumented.duration_seconds
+    ratio = round(instr_wall / base_wall, 3) if base_wall else None
+    return {
+        "spec": name,
+        "params": params,
+        "label": _spec_label(name, params),
+        "engine": "fingerprint",
+        "repeats": repeats,
+        "baseline_wall_seconds": round(base_wall, 6),
+        "instrumented_wall_seconds": round(instr_wall, 6),
+        "overhead_ratio": ratio,
+        "overhead_budget": OBS_OVERHEAD_BUDGET,
+        "within_budget": ratio is not None and ratio <= OBS_OVERHEAD_BUDGET,
+        "records": records,
+        "distinct_states": instrumented.distinct_states,
+        "generated_states": instrumented.generated_states,
+        "bit_identical": stats_key(baseline) == stats_key(instrumented),
+        "ok": instrumented.ok,
+    }
+
+
 def _attach_speedups(rows: List[Dict[str, Any]], baseline_of: Callable[[Dict[str, Any]], bool]) -> None:
     """Add ``speedup_vs_serial`` to every row, per spec label."""
     baselines: Dict[str, float] = {}
@@ -593,6 +703,14 @@ def run_bench(
         if row is not None:
             streaming_rows.append(row)
 
+    observability_rows: List[Dict[str, Any]] = []
+    for name, params in cfg.observability_specs:
+        label = _spec_label(name, params)
+        say(f"observability {label} repeats={cfg.observability_repeats}")
+        observability_rows.append(
+            _time_observability(name, params, cfg.observability_repeats)
+        )
+
     from ..mbtcg import STRATEGIES  # deferred: see _time_generation
 
     generation_rows: List[Dict[str, Any]] = []
@@ -658,6 +776,7 @@ def run_bench(
         "chaos": chaos_rows,
         "store_scaling": store_rows,
         "streaming": streaming_rows,
+        "observability": observability_rows,
         "notes": notes,
     }
 
@@ -743,6 +862,19 @@ def summarize(results: Dict[str, Any]) -> str:
                 f"  {row['label']:<28} traces={row['traces']} "
                 f"{row['wall_seconds']:.3f}s  {row['events_per_second']} ev/s  "
                 f"{row['violated_traces']} violated trace(s)"
+            )
+    if results.get("observability"):
+        lines.append("observability (telemetry overhead, JSONL sink enabled):")
+        for row in results["observability"]:
+            budget = (
+                "within budget" if row["within_budget"] else "OVER BUDGET"
+            )
+            verdict = "bit-identical" if row["bit_identical"] else "STATS DIVERGED"
+            lines.append(
+                f"  {row['label']:<28} {row['instrumented_wall_seconds']:.3f}s vs "
+                f"{row['baseline_wall_seconds']:.3f}s "
+                f"(x{row['overhead_ratio']}, budget x{row['overhead_budget']})  "
+                f"{row['records']} record(s)  [{budget}] [{verdict}]"
             )
     for note in results["notes"]:
         lines.append(f"note: {note}")

@@ -29,6 +29,7 @@ from typing import Optional, Sequence
 
 from ..engine import ENGINES, STORES, ModelChecker, check_spec
 from ..mbtcg import STRATEGIES, generate_suite, replay_corpus, write_corpus
+from ..obs import ENV_METRICS_OUT, run_profiled, span, start_run
 from ..mbtcg.emitters import write_log_suite, write_pytest_module
 from ..resilience import (
     FAULT_KINDS,
@@ -65,6 +66,28 @@ def build_parser() -> argparse.ArgumentParser:
             default=[],
             metavar="KEY=VALUE",
             help="spec configuration parameter (repeatable), e.g. n_nodes=3",
+        )
+
+    def add_obs_arguments(p: argparse.ArgumentParser, *, metrics: bool = True) -> None:
+        """Telemetry flags shared by every execution path.
+
+        ``bench`` opts out of ``--metrics-out``: it measures instrumentation
+        overhead itself, and must be free to activate (and deactivate) its
+        own runs without the CLI holding the process-wide run slot.
+        """
+        if metrics:
+            p.add_argument(
+                "--metrics-out",
+                metavar="FILE",
+                default=None,
+                help="append run telemetry (spans, counters, histograms) here "
+                f"as schema-versioned JSON lines; ${ENV_METRICS_OUT} is the "
+                "equivalent environment channel",
+            )
+        p.add_argument(
+            "--profile",
+            action="store_true",
+            help="run under cProfile and print the hottest functions to stderr",
         )
 
     check_p = sub.add_parser("check", help="model-check a specification")
@@ -193,6 +216,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="report tracemalloc peak memory of the run",
     )
     check_p.add_argument("--dot", metavar="FILE", help="export the state graph as DOT")
+    check_p.add_argument(
+        "--progress-every",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="print a heartbeat line (depth, frontier, distinct, states/sec) "
+        "to stderr every SECONDS during long explorations",
+    )
+    add_obs_arguments(check_p)
 
     trace_p = sub.add_parser("trace", help="check server logs against a spec (MBTC)")
     add_spec_arguments(trace_p)
@@ -210,6 +242,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="merge this trace's coverage into a JSON report file",
     )
+    add_obs_arguments(trace_p)
 
     watch_p = sub.add_parser(
         "watch",
@@ -313,6 +346,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="per-batch wall-clock budget in the worker pool (needs --workers)",
     )
+    watch_p.add_argument(
+        "--status-file",
+        metavar="FILE",
+        help="atomically rewrite a live service-status JSON here (per-source "
+        "lag, queue depths, quarantine rate) on the --report-every cadence",
+    )
+    add_obs_arguments(watch_p)
 
     sim_p = sub.add_parser("simulate", help="generate and batch-check a workload")
     add_spec_arguments(sim_p)
@@ -352,6 +392,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="stop the batch at the first failed, errored or unexpected trace",
     )
+    add_obs_arguments(sim_p)
 
     gen_p = sub.add_parser(
         "generate",
@@ -431,6 +472,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="CI preset: small ot_array suite, corpus written, replay verified",
     )
+    add_obs_arguments(gen_p)
 
     bench_p = sub.add_parser(
         "bench", help="time all engines x worker counts; write BENCH_results.json"
@@ -458,6 +500,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="batch size for the trace-checking matrix (default: 400; smoke: 60)",
     )
+    add_obs_arguments(bench_p, metrics=False)
     return parser
 
 
@@ -570,6 +613,8 @@ def _validate_check_args(args: argparse.Namespace) -> Optional[str]:
             "the checkpoint references the database file, and an ephemeral "
             "temp database disappears with the process"
         )
+    if args.progress_every is not None and args.progress_every <= 0:
+        return f"--progress-every must be positive; got {args.progress_every}"
     return None
 
 
@@ -668,6 +713,7 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         # unless a separate --checkpoint destination is given.
         checkpoint_path=args.checkpoint or args.resume,
         supervision=supervision,
+        status_path=args.status_file,
     )
     service = WatchService(
         spec, args.logs, per_node=per_node, config=config, resume_from=resume_from
@@ -1044,11 +1090,54 @@ _COMMANDS = {
 }
 
 
+def _run_command(args: argparse.Namespace) -> int:
+    """Dispatch one parsed command, under telemetry/profiling when asked.
+
+    A run activates only for commands that expose ``--metrics-out`` (bench
+    manages its own runs) and only when the flag, the ``REPRO_METRICS_OUT``
+    environment channel, or ``--progress-every`` asks for it -- the default
+    path never touches the obs runtime, which is what keeps every existing
+    output byte-identical.
+    """
+    command = _COMMANDS[args.command]
+    metrics_path = getattr(args, "metrics_out", None) or os.environ.get(
+        ENV_METRICS_OUT
+    )
+    progress_every = getattr(args, "progress_every", None) or 0.0
+    run = None
+    if hasattr(args, "metrics_out") and (metrics_path or progress_every > 0):
+        run = start_run(
+            command=f"repro {args.command}",
+            sink_path=metrics_path or None,
+            progress_every=progress_every,
+        )
+
+    def dispatch() -> int:
+        with span(f"command.{args.command}"):
+            return command(args)
+
+    exit_code: Optional[int] = None
+    try:
+        if getattr(args, "profile", False):
+            exit_code = run_profiled(dispatch)
+        else:
+            exit_code = dispatch()
+        return exit_code
+    finally:
+        if run is not None:
+            # A non-zero exit with a code is still a completed run (a found
+            # violation exits 1); only an escaping exception marks "error".
+            run.close(
+                exit_code=exit_code,
+                status="ok" if exit_code is not None else "error",
+            )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return _COMMANDS[args.command](args)
+        return _run_command(args)
     except (ReproError, OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -36,6 +36,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..obs import current as obs_current
 from ..resilience import SupervisedPool, SupervisionConfig, SupervisionStats, TaskError
 from ..tla import Specification, State
 from ..tla.coverage import CoverageReport, coverage_of_trace
@@ -404,7 +405,32 @@ def check_traces(
         accumulator.trace_count = report.total
         report.coverage = accumulator
     report.duration_seconds = time.perf_counter() - started
+    _record_batch_telemetry(report)
     return report
+
+
+def _record_batch_telemetry(report: BatchReport) -> None:
+    """Fold batch counters into the active telemetry run, if any."""
+    run = obs_current()
+    if run is None:
+        return
+    reg = run.registry
+    reg.inc("runner.batches")
+    reg.inc("runner.traces_total", report.total)
+    reg.inc("runner.traces_passed", report.passed)
+    reg.inc("runner.traces_failed", report.failed)
+    if report.errors:
+        reg.inc("runner.trace_errors", len(report.errors))
+    if report.surprises:
+        reg.inc("runner.surprises", len(report.surprises))
+    if report.cache_hits:
+        reg.inc("runner.cache_hits", report.cache_hits)
+    if report.cache_misses:
+        reg.inc("runner.cache_misses", report.cache_misses)
+    if report.stopped_early:
+        reg.inc("runner.stopped_early")
+    reg.set_gauge("runner.duration_seconds", report.duration_seconds)
+    reg.set_gauge("runner.traces_per_second", report.traces_per_second)
 
 
 def _check_traces_process(

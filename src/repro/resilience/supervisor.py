@@ -49,6 +49,11 @@ from typing import Any, Callable, Deque, Dict, List, Mapping, Optional, Tuple
 
 from collections import deque
 
+from ..obs import (
+    current as obs_current,
+    reset_for_child_process,
+    worker_telemetry_from_env,
+)
 from .faults import CHAOS_EXIT_CODE, FaultPlan
 
 __all__ = [
@@ -179,7 +184,20 @@ def _worker_main(
     ``payload = pickle(value)`` -- the supervisor rejects any envelope whose
     checksum does not match.  Exceptions raised by the task function are
     reported (``"error"``), not fatal: a worker survives its tasks' bugs.
+
+    Telemetry rides the same pipe: when the coordinator exported
+    ``REPRO_METRICS_OUT`` (see :mod:`repro.obs`), the worker accumulates
+    task counts/timings in a private registry and ships one final
+    ``("metrics", worker_id, run_id, snapshot)`` envelope at graceful
+    shutdown; the supervisor merges it into the active run by run id.  A
+    worker killed by recycle/terminate loses its snapshot -- telemetry is
+    best-effort, results are not.
     """
+    # A fork-started worker inherits the coordinator's active telemetry run
+    # (and its open sink handle); drop it so the parent stays the stream's
+    # only writer, then join the run through the env channel instead.
+    reset_for_child_process()
+    telemetry = worker_telemetry_from_env()
     plan = FaultPlan(**plan_params) if plan_params else None
     send_lock = threading.Lock()
     stop_beating = threading.Event()
@@ -215,17 +233,34 @@ def _worker_main(
                 time.sleep(plan.hang_seconds)  # type: ignore[union-attr]
             elif fault == "slow":
                 time.sleep(plan.slow_seconds)  # type: ignore[union-attr]
-            payload = pickle.dumps(fn(*args), protocol=pickle.HIGHEST_PROTOCOL)
+            if telemetry is None:
+                value = fn(*args)
+            else:
+                task_started = time.perf_counter()
+                value = fn(*args)
+                telemetry[1].inc("worker.tasks_total")
+                telemetry[1].observe(
+                    "worker.task_seconds", time.perf_counter() - task_started
+                )
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
             checksum = zlib.crc32(payload)
             if fault == "corrupt":
                 checksum ^= 0xDEADBEEF
             send(("ok", worker_id, task_index, attempt, checksum, payload))
         except BaseException as exc:  # noqa: BLE001 - reported, not fatal
+            if telemetry is not None:
+                telemetry[1].inc("worker.task_errors")
             try:
                 detail = f"{type(exc).__name__}: {exc}"
             except Exception:
                 detail = type(exc).__name__
             send(("error", worker_id, task_index, attempt, detail))
+    if telemetry is not None:
+        run_id, registry = telemetry
+        try:
+            send(("metrics", worker_id, run_id, registry.snapshot()))
+        except Exception:
+            pass
     stop_beating.set()
 
 
@@ -300,6 +335,9 @@ class SupervisedPool:
         self.stats = SupervisionStats()
         self._initializer = initializer
         self._initargs = initargs
+        # Bound at construction: worker snapshots and pool stats fold into
+        # the telemetry run that was active when this pool was created.
+        self._obs_run = obs_current()
         self._slots = [_Slot(position=index) for index in range(workers)]
         self._tasks: Dict[int, _Task] = {}
         self._next_index = 0
@@ -355,11 +393,49 @@ class SupervisedPool:
             if slot.process is None:
                 continue
             slot.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            # A gracefully exiting worker leaves its final ("metrics", ...)
+            # envelope in the pipe buffer; collect it before closing.
+            if self._obs_run is not None and slot.up is not None:
+                try:
+                    while slot.up.poll():
+                        message = slot.up.recv()
+                        if message and message[0] == "metrics":
+                            self._merge_worker_metrics(message)
+                except (EOFError, OSError):
+                    pass
             if slot.process.is_alive():
                 slot.process.terminate()
                 slot.process.join(timeout=_SHUTDOWN_GRACE)
             self._close_slot_pipes(slot)
             slot.process = None
+        self._fold_stats()
+
+    def _merge_worker_metrics(self, message: Tuple[Any, ...]) -> None:
+        """Reconcile one worker's final registry snapshot into the run."""
+        run = self._obs_run
+        if run is None:
+            return
+        _tag, _worker_id, run_id, snapshot = message
+        if run_id != run.run_id:
+            return  # a stale worker from some other run's environment
+        try:
+            run.registry.merge(snapshot)
+        except (KeyError, TypeError, ValueError):
+            return  # malformed snapshot: telemetry is best-effort
+        run.registry.inc("supervisor.worker_snapshots")
+
+    def _fold_stats(self) -> None:
+        """Fold this pool's supervision stats into the run's counters."""
+        run = self._obs_run
+        if run is None:
+            return
+        reg = run.registry
+        for key, value in self.stats.to_dict().items():
+            if key == "degraded":
+                if value:
+                    reg.inc("supervisor.degraded")
+            elif value:
+                reg.inc(f"supervisor.{key}", value)
 
     def __enter__(self) -> "SupervisedPool":
         return self
@@ -408,7 +484,15 @@ class SupervisedPool:
         tag = message[0]
         if tag == "beat":
             if message[1] == slot.worker_id:
-                slot.last_beat = time.monotonic()
+                now = time.monotonic()
+                if self._obs_run is not None:
+                    self._obs_run.registry.observe(
+                        "supervisor.heartbeat_latency_seconds", now - slot.last_beat
+                    )
+                slot.last_beat = now
+            return
+        if tag == "metrics":
+            self._merge_worker_metrics(message)
             return
         _tag, worker_id, task_index, attempt, *rest = message
         if worker_id != slot.worker_id or slot.busy != (task_index, attempt):

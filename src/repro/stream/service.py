@@ -41,6 +41,8 @@ the drain checkpoint written on shutdown is always consistent.
 
 from __future__ import annotations
 
+import json
+import os
 import queue
 import sys
 import threading
@@ -48,6 +50,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, TextIO, Tuple
 
+from ..obs import SCHEMA_VERSION as OBS_SCHEMA_VERSION, STATUS_KIND, current as obs_current
 from ..pipeline.logs import LogEvent, LogParseError, get_adapter
 from ..pipeline.runner import process_worker_init
 from ..resilience import (
@@ -55,6 +58,7 @@ from ..resilience import (
     SupervisionConfig,
     TaskError,
     WatchCheckpoint,
+    atomic_write_text,
     write_watch_checkpoint,
 )
 from ..tla import Specification
@@ -107,6 +111,10 @@ class WatchConfig:
     report_path: Optional[str] = None
     quarantine_path: Optional[str] = None
     checkpoint_path: Optional[str] = None
+    #: Atomically rewritten JSON snapshot of live runtime state (per-source
+    #: lag / queue depth / stall flags, quarantine rate, supervision) on the
+    #: ``report_every`` cadence and at drain -- the operator polling seam.
+    status_path: Optional[str] = None
     supervision: Optional[SupervisionConfig] = None
 
 
@@ -139,6 +147,7 @@ class WatchService:
         self.quarantine = QuarantineLog(self.config.quarantine_path)
         self.cache = SuccessorCache(spec)
         self.stop_signal: Optional[int] = None
+        self._obs_run = obs_current()
         self._stop = threading.Event()
         self._started_at: Optional[float] = None
         self._last_report_at = 0.0
@@ -292,6 +301,65 @@ class WatchService:
             ),
         }
 
+    def status(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """The live-status document behind ``--status-file``.
+
+        Unlike :meth:`report` this is *not* deterministic -- it exists for
+        operators polling a running service, so it carries wall-clock lag,
+        queue depths and stall flags that the deterministic report must not.
+        """
+        now = time.monotonic() if now is None else now
+        runtime = self.runtime_info(now)
+        sources: Dict[str, Any] = {}
+        for source in self.sources:
+            checker = self._checkers.get(source)
+            sources[source] = {
+                "offset": self._consumed[source]["offset"],
+                "lineno": self._consumed[source]["lineno"],
+                "queue_depth": self._queues[source].qsize(),
+                "lag_seconds": round(
+                    max(0.0, now - self._last_data.get(source, now)), 3
+                ),
+                "stalled": source in self._stalled,
+                "done": self._source_done[source],
+                "status": checker.status if checker is not None else "pending",
+                "events": checker.events if checker is not None else 0,
+            }
+        events = sum(c.events for c in self._checkers.values())
+        quarantined = self.quarantine.count
+        seen = events + quarantined
+        return {
+            "kind": STATUS_KIND,
+            "v": OBS_SCHEMA_VERSION,
+            "run_id": self._obs_run.run_id if self._obs_run is not None else None,
+            "pid": os.getpid(),
+            "spec": self.spec.name,
+            "adapter": self.config.adapter,
+            "uptime_seconds": round(runtime["uptime_seconds"] or 0.0, 3),
+            "events_per_second": round(runtime["events_per_second"], 3),
+            "quarantine_rate": round(quarantined / seen, 6) if seen else 0.0,
+            "sources": sources,
+            "totals": {
+                "events": events,
+                "quarantined_lines": quarantined,
+                "violated_traces": sum(
+                    1 for c in self._checkers.values() if c.status == "violated"
+                ),
+            },
+            "rotations": runtime["rotations"],
+            "truncations": runtime["truncations"],
+            "torn_lines": runtime["torn_lines"],
+            "supervision": runtime["supervision"],
+        }
+
+    def _write_status(self, now: Optional[float] = None) -> None:
+        if not self.config.status_path:
+            return
+        atomic_write_text(
+            self.config.status_path,
+            json.dumps(self.status(now), indent=2, sort_keys=True) + "\n",
+        )
+
     # -- tailer threads -------------------------------------------------------
     def _tail_source(self, source: str) -> None:
         tailer = self._tailers[source]
@@ -358,6 +426,8 @@ class WatchService:
             }
             self._lines_since_checkpoint += len(lines)
             self._announce_violation(source)
+        if self._obs_run is not None:
+            self._obs_run.registry.inc("watch.lines_consumed", consumed)
         return consumed
 
     def _pop_lines(self, source: str) -> List[TailedLine]:
@@ -513,6 +583,7 @@ class WatchService:
         report = self.report()
         if self.config.report_path:
             write_report(report, self.config.report_path)
+        self._write_status(now)
         print(render_report(report, self.runtime_info(now)), file=self.out, flush=True)
 
     def _maybe_checkpoint(self) -> None:
@@ -550,4 +621,37 @@ class WatchService:
         report = self.report()
         if self.config.report_path:
             write_report(report, self.config.report_path)
+        self._write_status()
+        self._record_telemetry(report)
         print(render_report(report, self.runtime_info()), file=self.out, flush=True)
+
+    def _record_telemetry(self, report: Dict[str, Any]) -> None:
+        """Fold the drained service's totals into the active telemetry run."""
+        run = self._obs_run
+        if run is None:
+            return
+        run.labels.update({"spec": self.spec.name, "adapter": self.config.adapter})
+        reg = run.registry
+        totals = report.get("totals", {})
+        for key in ("events", "steps", "stutters", "quarantined_lines"):
+            if totals.get(key):
+                reg.inc(f"watch.{key}", totals[key])
+        traces = report.get("traces", {})
+        for key, value in traces.items():
+            if isinstance(value, int) and value:
+                reg.inc(f"watch.traces_{key}", value)
+        reg.inc("watch.sources", len(self.sources))
+        runtime = self.runtime_info()
+        for key in ("rotations", "truncations", "torn_lines"):
+            if runtime.get(key):
+                reg.inc(f"watch.{key}", runtime[key])
+        reg.set_gauge("watch.events_per_second", runtime["events_per_second"])
+        if self.stop_signal is not None:
+            reg.inc("watch.stopped_by_signal")
+        run.emit(
+            "event",
+            name="watch.drained",
+            totals=dict(totals),
+            traces=dict(traces),
+            exit_code=self.exit_code(),
+        )

@@ -23,7 +23,7 @@ def smoke_results():
 
 
 def test_results_document_shape(smoke_results):
-    assert smoke_results["schema_version"] == 6
+    assert smoke_results["schema_version"] == 7
     env = smoke_results["environment"]
     assert env["cpu_count"] >= 1 and env["python"]
     # 2 specs x (states + fingerprint + 2 parallel worker counts)
@@ -85,6 +85,20 @@ def test_results_document_shape(smoke_results):
         assert row["events_per_second"] > 0
         # the workload seeds faults, and the service must catch some live
         assert row["violated_traces"] > 0
+    # schema v7: one observability row per configured spec, instrumented vs
+    # bare wall clock with a bit-identical statistics verdict
+    assert len(smoke_results["observability"]) >= 1
+    for row in smoke_results["observability"]:
+        assert row["ok"]
+        assert row["bit_identical"], f"instrumentation diverged on {row['label']}"
+        assert row["baseline_wall_seconds"] > 0
+        assert row["instrumented_wall_seconds"] > 0
+        assert row["overhead_ratio"] is not None
+        # The strict <3% bar is pinned by the dedicated obs tests on a
+        # quiet run; a loaded CI box still must not show gross overhead.
+        assert row["overhead_ratio"] < 1.5
+        # run_start + check.run span + metrics + run_end at minimum
+        assert row["records"] >= 4
 
 
 def test_bench_is_a_cross_engine_parity_witness(smoke_results):
@@ -123,6 +137,7 @@ def test_write_results_and_summarize(tmp_path, smoke_results):
     assert "chaos recovery" in digest
     assert "store scaling" in digest
     assert "streaming" in digest
+    assert "observability" in digest
 
 
 def test_cli_bench_smoke_writes_json(tmp_path, capsys):

@@ -148,6 +148,9 @@ from repro.pipeline.cli import main
             ["check", "locking", "--store", "disk", "--resume", "x.ckpt"],
             "--store-path",
         ),
+        # ISSUE 9: the progress heartbeat needs a positive interval.
+        (["check", "locking", "--progress-every", "0"], "--progress-every"),
+        (["check", "locking", "--progress-every", "-2"], "--progress-every"),
         # ISSUE 8: the watch service has the same hard-error flag policy.
         (["watch", "locking", "a.log", "--workers", "-1"], "--workers"),
         (["watch", "locking", "a.log", "--queue-size", "0"], "--queue-size"),
