@@ -20,6 +20,6 @@ Layers, bottom to top:
   JSONL sinks and profiling hooks, strictly additive over every output.
 """
 
-__version__ = "0.8.0"
+__version__ = "0.9.0"
 
 __all__ = ["__version__"]

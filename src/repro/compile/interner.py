@@ -1,0 +1,163 @@
+"""Combined freeze + fingerprint value interning for compiled specs.
+
+The interpreted hot path pays three separate walks per successor value: a
+defensive :func:`~repro.tla.values.freeze`, a structural hash for the
+``State`` object, and a fingerprint walk through the
+:class:`~repro.tla.values.FingerprintCache`.  The compiled path collapses
+them into one :class:`ValueInterner` pass that returns a *canonical* object
+plus its 64-bit fingerprint:
+
+* an **identity memo** answers repeat lookups in O(1) -- successor states
+  share almost all of their slots with their parents, and because the
+  frontier is built from the canonical objects the interner handed out, the
+  ``id()`` of an unchanged slot hits the memo on the very next expansion;
+* an **equality memo** canonicalizes newly built but structurally known
+  values (the ``held[:t] + (row,) + held[t+1:]`` idiom produces a fresh
+  tuple every time), so distinct-but-equal objects collapse to one retained
+  instance and downstream identity lookups keep hitting;
+* a **primitive memo** keyed by ``(type, value)`` -- *not* by the value
+  alone, because ``True == 1 == 1.0`` would otherwise alias three different
+  fingerprints onto one entry.
+
+Fingerprints are computed by the same :func:`repro.tla.values._fp_of`
+walk the interpreter uses, so a compiled fingerprint is equal to the
+interpreted one *by construction*, not by parallel reimplementation.
+
+Identity-memo safety: only canonical objects (retained by the equality
+memo's entry tuples) are keyed by ``id()``.  A retained object's address
+cannot be reused while its entry lives, and eviction purges both memos
+together, so a stale-id hit is impossible.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Any, Tuple
+
+from ..tla.values import (
+    _FP_PACK,
+    _digest,
+    _fp_of,
+    FingerprintCache,
+    NULL,
+    freeze,
+)
+
+__all__ = ["ValueInterner", "state_fingerprint"]
+
+#: Types fingerprinted through the ``P`` (primitive) digest without any
+#: structural walk.  Exact-type membership, so ``bool`` (a subclass of
+#: ``int``) gets its own entry and subclasses fall through to the general
+#: path instead of being mistaken for their base type.
+_PRIMITIVE_TYPES = frozenset(
+    (str, int, float, bool, bytes, type(None), type(NULL))
+)
+
+
+def state_fingerprint(slot_fps) -> int:
+    """Fold per-slot fingerprints into a state fingerprint.
+
+    Byte-identical to
+    :meth:`~repro.tla.values.FingerprintCache.state_values_fingerprint`:
+    the ``T`` digest over the packed slot fingerprints.
+    """
+    return _digest(b"T" + b"".join(map(_FP_PACK, slot_fps)))
+
+
+class ValueInterner:
+    """Single-pass freeze + canonicalize + fingerprint for one run.
+
+    Bounded like :class:`~repro.tla.values.FingerprintCache`: when a memo
+    fills up, its oldest half (dict insertion order) is discarded, so the
+    interner never grows into a second copy of a paper-scale state space.
+    """
+
+    MAX_ENTRIES = 1_000_000
+
+    __slots__ = ("_by_id", "_canon", "_prim", "max_entries", "cache", "hits", "misses", "evictions")
+
+    def __init__(self, *, max_entries: int = MAX_ENTRIES) -> None:
+        if max_entries < 2:
+            raise ValueError("max_entries must be at least 2")
+        #: id(canonical) -> (canonical, fp).  The entry tuple retains the
+        #: canonical object, which is what makes keying by id safe.
+        self._by_id: dict[int, Tuple[Any, int]] = {}
+        #: frozen value -> (canonical, fp), keyed by equality.
+        self._canon: dict[Any, Tuple[Any, int]] = {}
+        #: (type, value) -> fp for primitives.
+        self._prim: dict[Tuple[type, Any], int] = {}
+        self.max_entries = max_entries
+        #: Sub-value memo for the structural fingerprint walk on misses.
+        self.cache = FingerprintCache(max_entries=max_entries)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._canon)
+
+    def intern(self, value: Any) -> Tuple[Any, int]:
+        """``(canonical value, fingerprint)`` for an arbitrary spec value.
+
+        The canonical value is frozen, equal to ``value``, and stable: two
+        equal inputs intern to the *same* object, so later lookups hit the
+        identity memo.  The fingerprint equals
+        ``fingerprint(freeze(value))`` from :mod:`repro.tla.values`.
+        """
+        entry = self._by_id.get(id(value))
+        if entry is not None:
+            self.hits += 1
+            return entry
+        tp = type(value)
+        if tp in _PRIMITIVE_TYPES:
+            key = (tp, value)
+            fp = self._prim.get(key)
+            if fp is None:
+                fp = _digest(b"P" + repr(value).encode("utf-8"))
+                prim = self._prim
+                if len(prim) >= self.max_entries:
+                    for stale in list(islice(prim, len(prim) // 2)):
+                        del prim[stale]
+                    self.evictions += 1
+                prim[key] = fp
+            return value, fp
+        self.misses += 1
+        frozen = freeze(value)
+        entry = self._canon.get(frozen)
+        if entry is None:
+            fp = _fp_of(frozen, self.cache)
+            entry = (frozen, fp)
+            if len(self._canon) >= self.max_entries:
+                self._evict_oldest_half()
+            self._canon[frozen] = entry
+            self._by_id[id(frozen)] = entry
+        else:
+            # Map the canonical object's id too (idempotent); the caller's
+            # fresh-but-equal object is NOT id-mapped -- it is about to be
+            # dropped in favour of the canonical one, and memoizing a dead
+            # object's address would invite id-reuse aliasing.
+            self._by_id[id(entry[0])] = entry
+        return entry
+
+    def slot_fingerprints(self, values: Tuple[Any, ...]) -> list:
+        """Per-slot fingerprints of a state's values tuple."""
+        intern = self.intern
+        return [intern(value)[1] for value in values]
+
+    def _evict_oldest_half(self) -> None:
+        canon = self._canon
+        by_id = self._by_id
+        for key in list(islice(canon, len(canon) // 2)):
+            entry = canon.pop(key)
+            by_id.pop(id(entry[0]), None)
+        self.evictions += 1
+
+    def stats(self) -> dict:
+        """Hit/miss/eviction counters for the bench report and telemetry."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._canon),
+            "primitive_entries": len(self._prim),
+        }

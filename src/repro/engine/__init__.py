@@ -28,6 +28,14 @@ bounded retry, degrade-to-serial), the level-synchronous BFS engines can
 checkpoint and resume through the store snapshot seam, and a seeded chaos
 layer injects worker faults deterministically for testing all of it.
 
+Spec execution is a fourth seam (:mod:`repro.compile`): by default every
+engine runs the spec's *compiled* form -- fused successor kernels over
+fixed-slot value tuples with precomputed fingerprints and verdicts --
+falling back to interpreting the action closures when compilation is off
+(``compile_mode="off"`` / ``--compile off``) or fails under ``auto``.
+Results are bit-identical either way; the engines branch on
+``CheckContext.compiled`` per state and share all boundary code.
+
 :class:`~repro.engine.core.ModelChecker` coordinates: it resolves
 ``engine="auto"``/``store="auto"`` eagerly, validates the combination,
 builds the shared :class:`~repro.engine.base.CheckContext` and runs the

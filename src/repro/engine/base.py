@@ -152,6 +152,11 @@ class CheckResult:
     #: States the BFS frontiers spilled to compressed disk chunks (0 when
     #: spilling never triggered or is disabled).
     frontier_spilled_states: int = 0
+    #: True when the run executed the spec's compiled form
+    #: (:mod:`repro.compile`) rather than interpreting action closures.
+    compiled: bool = False
+    #: Wall-clock seconds spent specializing the spec (0 when interpreted).
+    compile_seconds: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -173,6 +178,8 @@ class CheckResult:
         if self.engine == "simulate":
             resolved += f"({self.walks} walks)"
         resolved += f" store={self.store}"
+        if self.compiled:
+            resolved += " compiled"
         if self.store_exact:
             distinct = f"{self.distinct_states} distinct states"
         else:
@@ -240,6 +247,11 @@ class CheckContext:
     #: Set by the coordinator when resuming: ``(depth, wire frontier)`` --
     #: the next level to expand and its pending frontier as value tuples.
     resume: Optional[Tuple[int, List[Tuple[Tuple[Any, ...], int]]]] = None
+    #: The spec's compiled form (:class:`repro.compile.CompiledSpec`), or
+    #: None to interpret.  Engines that support the fast path branch on it;
+    #: everything at the boundaries (seeding, replay, checkpoints) stays on
+    #: the interpreted code so the two paths cannot drift there.
+    compiled: Optional[Any] = None
 
     # Shared fingerprint-BFS helpers -----------------------------------------
     def new_frontier(self):

@@ -59,11 +59,17 @@ class ModelChecker:
         checkpoint_path: Optional[str] = None,
         checkpoint_every: int = 0,
         resume_path: Optional[str] = None,
+        compile_mode: str = "auto",
     ) -> None:
         known_engines = ("auto",) + engine_names()
         if engine not in known_engines:
             raise ValueError(
                 f"unknown engine {engine!r}; expected one of {known_engines}"
+            )
+        if compile_mode not in ("on", "off", "auto"):
+            raise ValueError(
+                f"unknown compile mode {compile_mode!r}; expected 'on', 'off' "
+                "or 'auto'"
             )
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
@@ -74,6 +80,7 @@ class ModelChecker:
         if checkpoint_every < 0:
             raise ValueError("checkpoint_every must be >= 0")
         self.spec = spec
+        self.compile_mode = compile_mode
         self.check_properties = check_properties
         # Temporal properties are checked on the state graph, so requesting
         # them implies collecting it.  Large runs (the paper-scale RaftMongo
@@ -259,6 +266,29 @@ class ModelChecker:
             # parent map is the *other* per-distinct-state memory consumer,
             # so leaving it in a dict would defeat the store's flat RSS.
             ctx.parents = store.parent_map()
+        if self.compile_mode != "off":
+            # Specialize the spec into its compiled form (repro.compile):
+            # default-on ("auto") with graceful fallback to interpretation,
+            # hard failure under explicit --compile on.  Imported lazily so
+            # the engine package carries no load-time dependency on it.
+            from ..compile import compile_spec
+
+            # emit=False: the compile step is recorded as a metrics gauge and
+            # a run label, not a span event -- event streams stay stable for
+            # consumers that pin the per-run event sequence.
+            compile_timer = span("check.compile", emit=False)
+            try:
+                with compile_timer:
+                    ctx.compiled = compile_spec(self.spec)
+            except Exception as exc:  # noqa: BLE001 - policy decides
+                if self.compile_mode == "on":
+                    raise CheckerError(
+                        f"spec compilation failed for {self.spec.name!r}: {exc}"
+                    ) from exc
+                ctx.compiled = None
+            else:
+                result.compiled = True
+                result.compile_seconds = compile_timer.elapsed
         if self.resume_path is not None:
             self._restore(ctx, result)
         timer = span("check.run")
@@ -346,10 +376,18 @@ class ModelChecker:
         if run is None:
             return
         run.labels.update(
-            {"spec": result.spec_name, "engine": result.engine, "store": result.store}
+            {
+                "spec": result.spec_name,
+                "engine": result.engine,
+                "store": result.store,
+                "compiled": "compiled" if result.compiled else "interpreted",
+            }
         )
         reg = run.registry
         reg.inc("check.runs")
+        if result.compiled:
+            reg.inc("check.compiled_runs")
+            reg.set_gauge("check.compile_seconds", result.compile_seconds)
         reg.inc("check.generated_states", result.generated_states)
         reg.inc("check.distinct_states", result.distinct_states)
         reg.set_gauge("check.max_depth", result.max_depth)
@@ -435,6 +473,7 @@ def check_spec(
     checkpoint_path: Optional[str] = None,
     checkpoint_every: int = 0,
     resume_path: Optional[str] = None,
+    compile_mode: str = "auto",
 ) -> CheckResult:
     """Convenience wrapper: build a checker, run it, optionally raise.
 
@@ -463,6 +502,7 @@ def check_spec(
         checkpoint_path=checkpoint_path,
         checkpoint_every=checkpoint_every,
         resume_path=resume_path,
+        compile_mode=compile_mode,
     )
     result = checker.run()
     if raise_on_violation:

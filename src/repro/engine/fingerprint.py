@@ -19,6 +19,7 @@ keeps peak RSS flat into the millions of distinct states.
 from __future__ import annotations
 
 from ..obs import COUNT_BUCKETS, current as obs_current, span
+from ..tla.state import State
 from .base import CheckContext, Engine, register_engine
 
 __all__ = ["FingerprintEngine"]
@@ -36,6 +37,8 @@ class FingerprintEngine(Engine):
 
     def run(self, ctx: CheckContext) -> None:
         spec, result, store = ctx.spec, ctx.result, ctx.store
+        compiled = ctx.compiled
+        schema = spec.schema
         frontier, stop, depth, action_counts = ctx.start_frontier()
         obs_run = obs_current()
         ticker = obs_run.progress if obs_run is not None else None
@@ -61,6 +64,39 @@ class FingerprintEngine(Engine):
                     result.truncated = True
                     stop = True
                     break
+                if compiled is not None:
+                    # The compiled fast path: one kernel call yields the full
+                    # expansion with fingerprints and verdicts precomputed.
+                    # Real State objects are rebuilt only for successors that
+                    # enter the next frontier (checkpoints and spill files
+                    # consume them there), so they stay bit-identical.
+                    entries = compiled.expand(state.values)
+                    if not entries and ctx.check_deadlock:
+                        result.deadlock = ctx.deadlock_at(fp)
+                        if ctx.stop_on_violation:
+                            stop = True
+                            break
+                    for action_name, nvalues, nfp, violated_name, within in entries:
+                        result.generated_states += 1
+                        action_counts[action_name] += 1
+                        if not store.add(nfp):
+                            continue
+                        ctx.parents.setdefault(nfp, (fp, action_name))
+                        result.max_depth = max(result.max_depth, depth + 1)
+                        if violated_name is not None:
+                            result.invariant_violation = ctx.fp_violation(
+                                nfp, violated_name
+                            )
+                            if ctx.stop_on_violation:
+                                stop = True
+                                break
+                        if within:
+                            next_frontier.append(
+                                (State.from_values(schema, nvalues), nfp)
+                            )
+                    if stop:
+                        break
+                    continue
                 successors = spec.successors(state)
                 if not successors and ctx.check_deadlock:
                     result.deadlock = ctx.deadlock_at(fp)

@@ -63,12 +63,16 @@ _INLINE_FRONTIER = 8
 _WORKER_SPEC: Optional[Specification] = None
 _WORKER_CACHE: Optional[FingerprintCache] = None
 _WORKER_VERDICTS: Dict[int, Tuple[Optional[str], bool]] = {}
+_WORKER_COMPILED: Optional[Any] = None
 
 
 def _parallel_worker_init(
-    registry_name: str, params: Dict[str, Any], provider_modules: List[str]
+    registry_name: str,
+    params: Dict[str, Any],
+    provider_modules: List[str],
+    compile_on: bool = False,
 ) -> None:
-    global _WORKER_SPEC, _WORKER_CACHE, _WORKER_VERDICTS
+    global _WORKER_SPEC, _WORKER_CACHE, _WORKER_VERDICTS, _WORKER_COMPILED
     from ..tla import registry
 
     # Under the 'spawn' start method a worker starts with a fresh registry;
@@ -79,6 +83,13 @@ def _parallel_worker_init(
     _WORKER_SPEC = registry.build_spec(registry_name, **params)
     _WORKER_CACHE = FingerprintCache()
     _WORKER_VERDICTS = {}
+    _WORKER_COMPILED = None
+    if compile_on:
+        # Each worker specializes its own spec copy, the way it rebuilds the
+        # spec itself: compiled kernels are closures and cannot be pickled.
+        from ..compile import compile_spec
+
+        _WORKER_COMPILED = compile_spec(_WORKER_SPEC)
 
 
 def _parallel_expand_shard(
@@ -88,10 +99,15 @@ def _parallel_expand_shard(
 
     Input and output are value tuples rather than ``State`` objects to keep
     the pickled payloads minimal; the coordinator rebuilds ``State`` only for
-    successors that actually enter the next frontier.
+    successors that actually enter the next frontier.  The compiled and
+    interpreted paths emit the same :data:`SuccessorInfo` wire shape, so the
+    coordinator's merge cannot tell which one ran.
     """
     spec, cache = _WORKER_SPEC, _WORKER_CACHE
     assert spec is not None and cache is not None
+    compiled = _WORKER_COMPILED
+    if compiled is not None:
+        return [(fp, compiled.expand(values)) for values, fp in shard]
     schema = spec.schema
     return [
         (
@@ -141,7 +157,12 @@ class ParallelEngine(Engine):
                     pool = SupervisedPool(
                         workers,
                         initializer=_parallel_worker_init,
-                        initargs=(registry_name, params, list(PROVIDER_MODULES)),
+                        initargs=(
+                            registry_name,
+                            params,
+                            list(PROVIDER_MODULES),
+                            ctx.compiled is not None,
+                        ),
                         config=ctx.supervision,
                         chaos=ctx.chaos,
                         name="parallel",
@@ -244,7 +265,12 @@ class ParallelEngine(Engine):
         matter which attempt (worker or fallback) produced each shard.
         """
         spec = ctx.spec
+        compiled = ctx.compiled
         if pool is None or pool.degraded or len(frontier) < workers * _INLINE_FRONTIER:
+            if compiled is not None:
+                for state, fp in frontier:
+                    yield fp, compiled.expand(state.values)
+                return
             for state, fp in frontier:
                 yield fp, expand_state(spec, ctx.cache, state, verdicts)
             return
@@ -269,6 +295,10 @@ class ParallelEngine(Engine):
             try:
                 yield from pool.result(task_index)
             except TaskError:
+                if compiled is not None:
+                    for values, fp in shard:
+                        yield fp, compiled.expand(values)
+                    continue
                 for values, fp in shard:
                     yield (
                         fp,

@@ -124,6 +124,73 @@ def _run_walk(
     )
 
 
+def _run_walk_compiled(
+    compiled: Any,
+    cache: FingerprintCache,
+    initial: List[State],
+    walk_index: int,
+    seed: int,
+    walk_depth: int,
+) -> _WalkOutcome:
+    """:func:`_run_walk` through the compiled kernels; same outcome shape.
+
+    The walk carries value tuples instead of ``State`` objects.  RNG parity
+    with the interpreted walk holds because ``random.Random.choice`` depends
+    only on the sequence *length*, and the compiled expansion enumerates
+    candidates in the interpreted order -- so walk *i* draws the same
+    initial state and the same successor indices either way.
+    """
+    rng = random.Random(f"{seed}:{walk_index}")
+    generated = len(initial)
+    state = rng.choice(initial)
+    fp = state.fingerprint(cache)
+    values = state.values
+    fps = [fp]
+    trace: List[Tuple[Any, ...]] = [values]
+    actions: List[str] = []
+    violated_name, within = compiled.verdict_for(values, fp)
+    deadlocked = False
+    steps = 0
+    if violated_name is None and within:
+        while steps < walk_depth:
+            entries = compiled.expand(values)
+            generated += len(entries)
+            if not entries:
+                deadlocked = True
+                break
+            hit: Optional[Tuple[str, Tuple[Any, ...], int, str]] = None
+            candidates: List[Tuple[str, Tuple[Any, ...], int]] = []
+            for action_name, nvalues, nfp, inv_name, nxt_within in entries:
+                if inv_name is not None:
+                    hit = (action_name, nvalues, nfp, inv_name)
+                    break
+                if nxt_within:
+                    candidates.append((action_name, nvalues, nfp))
+            if hit is not None:
+                action_name, values, fp, violated_name = hit
+                steps += 1
+                fps.append(fp)
+                trace.append(values)
+                actions.append(action_name)
+                break
+            if not candidates:
+                break
+            action_name, values, fp = rng.choice(candidates)
+            steps += 1
+            fps.append(fp)
+            trace.append(values)
+            actions.append(action_name)
+    return (
+        steps,
+        generated,
+        fps,
+        violated_name,
+        deadlocked,
+        tuple(trace),
+        tuple(actions),
+    )
+
+
 # ---------------------------------------------------------------------------
 # Pool worker side.  The initializer is shared with the parallel BFS engine:
 # rebuild the spec by registry name, keep a private FingerprintCache.
@@ -145,9 +212,9 @@ def _simulate_shard(
     what lets the coordinator's min-merge reproduce the serial engine's
     counterexample exactly.
     """
-    from .parallel import _WORKER_CACHE, _WORKER_SPEC
+    from . import parallel
 
-    spec, cache = _WORKER_SPEC, _WORKER_CACHE
+    spec, cache = parallel._WORKER_SPEC, parallel._WORKER_CACHE
     assert spec is not None and cache is not None
     return _drive_walks(
         spec,
@@ -157,6 +224,7 @@ def _simulate_shard(
         walk_depth,
         check_deadlock,
         stop_on_violation,
+        compiled=parallel._WORKER_COMPILED,
     )
 
 
@@ -169,6 +237,7 @@ def _drive_walks(
     check_deadlock: bool,
     stop_on_violation: bool,
     store: Any = None,
+    compiled: Any = None,
 ) -> Dict[str, Any]:
     """Run a slice of walks and aggregate their outcomes (wire-friendly).
 
@@ -193,9 +262,18 @@ def _drive_walks(
     deadlock: Optional[Tuple[int, _WireTrace]] = None
     initial = spec.initial_states()  # once per slice, not once per walk
     for walk_index in indices:
-        steps, walk_generated, walk_fps, inv_name, deadlocked, trace, actions = (
-            _run_walk(spec, cache, initial, walk_index, seed, walk_depth, verdicts)
-        )
+        if compiled is not None:
+            steps, walk_generated, walk_fps, inv_name, deadlocked, trace, actions = (
+                _run_walk_compiled(
+                    compiled, cache, initial, walk_index, seed, walk_depth
+                )
+            )
+        else:
+            steps, walk_generated, walk_fps, inv_name, deadlocked, trace, actions = (
+                _run_walk(
+                    spec, cache, initial, walk_index, seed, walk_depth, verdicts
+                )
+            )
         walks_run += 1
         generated += walk_generated
         max_steps = max(max_steps, steps)
@@ -271,6 +349,7 @@ class SimulationEngine(Engine):
                     ctx.check_deadlock,
                     ctx.stop_on_violation,
                     store=ctx.store,
+                    compiled=ctx.compiled,
                 )
             ]
         self._merge(ctx, shards)
@@ -293,7 +372,12 @@ class SimulationEngine(Engine):
         with SupervisedPool(
             len(bounds),
             initializer=_parallel_worker_init,
-            initargs=(registry_name, params, list(PROVIDER_MODULES)),
+            initargs=(
+                registry_name,
+                params,
+                list(PROVIDER_MODULES),
+                ctx.compiled is not None,
+            ),
             config=ctx.supervision,
             chaos=ctx.chaos,
             name="simulate",
@@ -328,6 +412,7 @@ class SimulationEngine(Engine):
                             ctx.walk_depth,
                             ctx.check_deadlock,
                             ctx.stop_on_violation,
+                            compiled=ctx.compiled,
                         )
                     )
             ctx.result.supervision = pool.stats

@@ -29,6 +29,10 @@ stands after every PR: it times
   telemetry run with a JSONL sink -- the wall-clock cost of the
   instrumentation threaded through every layer, pinned under a few percent
   with a bit-identical statistics verdict per row,
+* spec compilation (schema v8): the same exploration with the spec compiled
+  (:mod:`repro.compile` successor kernels) vs interpreted -- the raw
+  states/sec gain of the compiled fast path, with a bit-identical verdict
+  per row that covers the counterexample trace as well as every statistic,
 
 on the registered specification families, and writes one JSON document
 (``BENCH_results.json``) with wall times, states/sec, walks/sec, traces/sec,
@@ -69,15 +73,18 @@ __all__ = [
     "write_results",
 ]
 
-#: v7: an ``observability`` stage joins the document (instrumented vs bare
-#: wall clock with the telemetry sink enabled, overhead pinned against
-#: ``OBS_OVERHEAD_BUDGET``).  v6 added ``streaming`` (the watch service
-#: draining trace logs in once mode, events/sec per spec); v5
-#: ``store_scaling`` (in-memory vs disk store with peak-memory and
-#: store-bound/CPU-bound regime per row) and ``store_io_seconds`` +
-#: ``regime`` on every model-checking row; v4 the ``chaos`` stage; v3 the
-#: resolved ``store`` per row and the ``simulation`` stage.
-SCHEMA_VERSION = 7
+#: v8: a ``spec_compile`` stage joins the document (the same BFS with the
+#: spec compiled vs interpreted, ``speedup_vs_interpreted`` and a
+#: ``bit_identical`` verdict over every statistic *and* the counterexample
+#: trace per row).  v7 added ``observability`` (instrumented vs bare wall
+#: clock with the telemetry sink enabled, overhead pinned against
+#: ``OBS_OVERHEAD_BUDGET``); v6 ``streaming`` (the watch service draining
+#: trace logs in once mode, events/sec per spec); v5 ``store_scaling``
+#: (in-memory vs disk store with peak-memory and store-bound/CPU-bound
+#: regime per row) and ``store_io_seconds`` + ``regime`` on every
+#: model-checking row; v4 the ``chaos`` stage; v3 the resolved ``store``
+#: per row and the ``simulation`` stage.
+SCHEMA_VERSION = 8
 
 #: The observability stage's acceptance bar: instrumented wall clock within
 #: 3% of the bare run on the same spec.
@@ -160,6 +167,8 @@ class BenchConfig:
     #: Best-of-N walls per observability variant (times the floor, not
     #: scheduler noise).
     observability_repeats: int = 3
+    #: Best-of-N walls per spec-compilation variant (interpreted/compiled).
+    compile_repeats: int = 3
     smoke: bool = False
 
     @classmethod
@@ -219,6 +228,7 @@ def _time_check(
         "store_io_seconds": round(result.store_io_seconds, 6),
         "io_fraction": io_fraction,
         "regime": regime,
+        "compiled": result.compiled,
         "ok": result.ok,
     }
 
@@ -423,6 +433,97 @@ def _time_chaos(
         "bit_identical": stats_key(baseline) == stats_key(chaotic),
         "supervision": supervision_stats,
         "ok": chaotic.ok,
+    }
+
+
+def _uses_native_kernel(name: str, params: Dict[str, Any]) -> bool:
+    """Whether compilation picks a hand-specialized kernel for this config."""
+    from ..compile import compile_spec
+
+    try:
+        return bool(compile_spec(build_spec(name, **params)).native)
+    except Exception:
+        return False
+
+
+def _time_spec_compile(
+    name: str, params: Dict[str, Any], repeats: int = 3
+) -> Dict[str, Any]:
+    """One spec-compilation row: the same BFS interpreted vs compiled.
+
+    Both runs use the serial ``fingerprint`` engine, so the ratio isolates
+    the successor-kernel cost from pool coordination.  ``bit_identical``
+    covers every statistic *and* the counterexample trace (step-for-step
+    value tuples), because the compiled path's whole contract is that it is
+    an invisible substitution.  Best-of-N walls per variant, as in the
+    observability stage.
+    """
+
+    def best_run(compile_mode: str) -> Any:
+        best = None
+        for _ in range(repeats):
+            result = check_spec(
+                build_spec(name, **params),
+                check_properties=False,
+                engine="fingerprint",
+                compile_mode=compile_mode,
+            )
+            if best is None or result.duration_seconds < best.duration_seconds:
+                best = result
+        return best
+
+    interpreted = best_run("off")
+    compiled = best_run("on")
+
+    def stats_key(result: Any) -> Tuple[Any, ...]:
+        return (
+            result.distinct_states,
+            result.generated_states,
+            result.max_depth,
+            result.peak_frontier,
+            dict(result.action_counts),
+            result.ok,
+        )
+
+    def trace_key(result: Any) -> Optional[Tuple[Any, ...]]:
+        violation = result.invariant_violation
+        if violation is None:
+            return None
+        return (
+            violation.property_name,
+            tuple(state.values for state in violation.trace),
+        )
+
+    interp_wall = interpreted.duration_seconds
+    comp_wall = compiled.duration_seconds
+    return {
+        "spec": name,
+        "params": params,
+        "label": _spec_label(name, params),
+        "engine": "fingerprint",
+        "repeats": repeats,
+        "native_kernel": _uses_native_kernel(name, params),
+        "interpreted_wall_seconds": round(interp_wall, 6),
+        "compiled_wall_seconds": round(comp_wall, 6),
+        "compile_seconds": round(compiled.compile_seconds, 6),
+        "speedup_vs_interpreted": (
+            round(interp_wall / comp_wall, 2) if comp_wall else None
+        ),
+        "interpreted_states_per_second": (
+            round(interpreted.generated_states / interp_wall, 1)
+            if interp_wall
+            else None
+        ),
+        "compiled_states_per_second": (
+            round(compiled.generated_states / comp_wall, 1) if comp_wall else None
+        ),
+        "distinct_states": compiled.distinct_states,
+        "generated_states": compiled.generated_states,
+        "bit_identical": (
+            stats_key(interpreted) == stats_key(compiled)
+            and trace_key(interpreted) == trace_key(compiled)
+        ),
+        "ok": compiled.ok,
     }
 
 
@@ -703,6 +804,15 @@ def run_bench(
         if row is not None:
             streaming_rows.append(row)
 
+    compile_rows: List[Dict[str, Any]] = []
+    # The mutated-locking row exists so one bench row exercises the
+    # counterexample half of the bit-identical verdict on every run.
+    compile_specs = list(cfg.specs) + [("locking", {"mutation": "xx_compatible"})]
+    for name, params in compile_specs:
+        label = _spec_label(name, params)
+        say(f"spec-compile {label} repeats={cfg.compile_repeats}")
+        compile_rows.append(_time_spec_compile(name, params, cfg.compile_repeats))
+
     observability_rows: List[Dict[str, Any]] = []
     for name, params in cfg.observability_specs:
         label = _spec_label(name, params)
@@ -776,6 +886,7 @@ def run_bench(
         "chaos": chaos_rows,
         "store_scaling": store_rows,
         "streaming": streaming_rows,
+        "spec_compile": compile_rows,
         "observability": observability_rows,
         "notes": notes,
     }
@@ -862,6 +973,18 @@ def summarize(results: Dict[str, Any]) -> str:
                 f"  {row['label']:<28} traces={row['traces']} "
                 f"{row['wall_seconds']:.3f}s  {row['events_per_second']} ev/s  "
                 f"{row['violated_traces']} violated trace(s)"
+            )
+    if results.get("spec_compile"):
+        lines.append("spec compilation (compiled vs interpreted, fingerprint engine):")
+        for row in results["spec_compile"]:
+            verdict = "bit-identical" if row["bit_identical"] else "STATS DIVERGED"
+            kernel = "native" if row["native_kernel"] else "generic"
+            lines.append(
+                f"  {row['label']:<28} {kernel:<8} "
+                f"{row['compiled_wall_seconds']:.3f}s vs "
+                f"{row['interpreted_wall_seconds']:.3f}s "
+                f"({row['speedup_vs_interpreted']}x)  "
+                f"{row['compiled_states_per_second']} st/s  [{verdict}]"
             )
     if results.get("observability"):
         lines.append("observability (telemetry overhead, JSONL sink enabled):")

@@ -101,6 +101,16 @@ def build_parser() -> argparse.ArgumentParser:
         "simulate runs seeded random walks instead of exhaustive BFS)",
     )
     check_p.add_argument(
+        "--compile",
+        choices=("on", "off", "auto"),
+        default="auto",
+        dest="compile_mode",
+        help="spec compilation (repro.compile): specialize the spec into "
+        "fused successor kernels at check time (default: auto -- compile, "
+        "falling back to interpretation if specialization fails; on makes "
+        "a compile failure fatal; off interprets)",
+    )
+    check_p.add_argument(
         "--store",
         choices=STORES,
         default="auto",
@@ -773,6 +783,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
             checkpoint_path=args.checkpoint,
             checkpoint_every=args.checkpoint_every or 0,
             resume_path=args.resume,
+            compile_mode=args.compile_mode,
         )
         return checker.run()
 

@@ -31,6 +31,12 @@ class CoverageReport:
     action_counts: Dict[str, int] = field(default_factory=dict)
     reachable_count: Optional[int] = None
     trace_count: int = 0
+    #: Per action, in how many covered trace states it was *enabled* --
+    #: witnessed-vs-enabled is the classic coverage gap: an action enabled
+    #: everywhere but matched nowhere is a hole in the implementation's
+    #: exercise of the model.  Cheap to account since enablement queries
+    #: short-circuit at the first successor (:meth:`Action.is_enabled`).
+    enabled_action_counts: Dict[str, int] = field(default_factory=dict)
 
     # Metrics -------------------------------------------------------------------
     @property
@@ -57,12 +63,16 @@ class CoverageReport:
         merged_actions = dict(self.action_counts)
         for name, count in other.action_counts.items():
             merged_actions[name] = merged_actions.get(name, 0) + count
+        merged_enabled = dict(self.enabled_action_counts)
+        for name, count in other.enabled_action_counts.items():
+            merged_enabled[name] = merged_enabled.get(name, 0) + count
         return CoverageReport(
             spec_name=self.spec_name,
             visited_fingerprints=self.visited_fingerprints | other.visited_fingerprints,
             action_counts=merged_actions,
             reachable_count=self.reachable_count or other.reachable_count,
             trace_count=self.trace_count + other.trace_count,
+            enabled_action_counts=merged_enabled,
         )
 
     def absorb(self, other: "CoverageReport") -> "CoverageReport":
@@ -79,6 +89,10 @@ class CoverageReport:
         self.visited_fingerprints |= other.visited_fingerprints
         for name, count in other.action_counts.items():
             self.action_counts[name] = self.action_counts.get(name, 0) + count
+        for name, count in other.enabled_action_counts.items():
+            self.enabled_action_counts[name] = (
+                self.enabled_action_counts.get(name, 0) + count
+            )
         self.reachable_count = self.reachable_count or other.reachable_count
         self.trace_count += other.trace_count
         return self
@@ -91,6 +105,7 @@ class CoverageReport:
             "action_counts": self.action_counts,
             "reachable_count": self.reachable_count,
             "trace_count": self.trace_count,
+            "enabled_action_counts": self.enabled_action_counts,
         }
         return json.dumps(payload, sort_keys=True)
 
@@ -103,6 +118,7 @@ class CoverageReport:
             action_counts=dict(payload["action_counts"]),
             reachable_count=payload.get("reachable_count"),
             trace_count=payload.get("trace_count", 0),
+            enabled_action_counts=dict(payload.get("enabled_action_counts", {})),
         )
 
     def summary(self) -> str:
@@ -128,9 +144,12 @@ def coverage_of_trace(
     often each specification action was witnessed by the implementation.
     """
     fingerprints: Set[int] = set()
+    enabled_counts: Dict[str, int] = {}
     for item in trace_states:
         state = item if isinstance(item, State) else spec.make_state(**item)
         fingerprints.add(state.fingerprint())
+        for name in spec.enabled_actions(state):
+            enabled_counts[name] = enabled_counts.get(name, 0) + 1
     action_counts: Dict[str, int] = {}
     for name in matched_actions:
         if name and name != "<stutter>":
@@ -141,6 +160,7 @@ def coverage_of_trace(
         action_counts=action_counts,
         reachable_count=len(graph) if graph is not None else None,
         trace_count=1,
+        enabled_action_counts=enabled_counts,
     )
 
 

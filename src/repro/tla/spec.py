@@ -72,6 +72,33 @@ class Action:
                 )
         return results
 
+    def is_enabled(self, state: State) -> bool:
+        """True when the action has at least one successor from ``state``.
+
+        Unlike ``bool(successors(state))`` this short-circuits on the first
+        produced item without materializing (or even constructing) the
+        successor states -- enablement queries walk every action per state,
+        so paying the full expansion there was pure waste.
+        """
+        try:
+            produced = self.effect(state)
+        except Exception as exc:  # noqa: BLE001 - rewrap with action context
+            raise EvaluationError(
+                f"action {self.name!r} raised {type(exc).__name__}: {exc}",
+                action=self.name,
+            ) from exc
+        if produced is None:
+            return False
+        for item in produced:
+            if isinstance(item, (State, Mapping)):
+                return True
+            raise EvaluationError(
+                f"action {self.name!r} produced {type(item).__name__}; "
+                "expected State or mapping of variable updates",
+                action=self.name,
+            )
+        return False
+
 
 def action(name: Optional[str] = None) -> Callable[[ActionEffect], Action]:
     """Decorator turning a generator function into an :class:`Action`.
@@ -211,8 +238,12 @@ class Specification:
         return result
 
     def enabled_actions(self, state: State) -> List[str]:
-        """Names of the actions enabled in ``state``."""
-        return [act.name for act in self.actions if act.successors(state)]
+        """Names of the actions enabled in ``state``.
+
+        Uses :meth:`Action.is_enabled`, which stops at the first successor
+        instead of materializing the full expansion per action.
+        """
+        return [act.name for act in self.actions if act.is_enabled(state)]
 
     def action_named(self, name: str) -> Action:
         try:

@@ -128,6 +128,20 @@ class State(Mapping[str, Any]):
             new_values[self.schema.index_of(name)] = freeze(value)
         return State.from_values(self.schema, tuple(new_values))
 
+    def with_frozen_updates(self, updates: Mapping[str, Any]) -> "State":
+        """:meth:`with_updates` for values that are already frozen.
+
+        The compiled successor kernels (:mod:`repro.compile`) intern every
+        value they produce, so converting their updates back into a real
+        ``State`` at the engine boundary must not pay a second freeze walk.
+        """
+        if not updates:
+            return self
+        new_values = list(self.values)
+        for name, value in updates.items():
+            new_values[self.schema.index_of(name)] = value
+        return State.from_values(self.schema, tuple(new_values))
+
     @classmethod
     def from_values(cls, schema: VariableSchema, values: Tuple[Any, ...]) -> "State":
         """Build a state directly from an already-frozen value tuple."""

@@ -23,7 +23,7 @@ def smoke_results():
 
 
 def test_results_document_shape(smoke_results):
-    assert smoke_results["schema_version"] == 7
+    assert smoke_results["schema_version"] == 8
     env = smoke_results["environment"]
     assert env["cpu_count"] >= 1 and env["python"]
     # 2 specs x (states + fingerprint + 2 parallel worker counts)
@@ -99,6 +99,24 @@ def test_results_document_shape(smoke_results):
         assert row["overhead_ratio"] < 1.5
         # run_start + check.run span + metrics + run_end at minimum
         assert row["records"] >= 4
+    # schema v8: one spec-compile row per spec config plus the seeded
+    # mutated-locking row (which exercises the counterexample comparison)
+    assert len(smoke_results["spec_compile"]) == 3
+    labels = [row["label"] for row in smoke_results["spec_compile"]]
+    assert labels[-1] == "locking[mutation=xx_compatible]"
+    for row in smoke_results["spec_compile"]:
+        diverged = f"compiled run diverged on {row['label']}"
+        assert row["bit_identical"], diverged
+        assert row["speedup_vs_interpreted"] is not None
+        assert row["interpreted_wall_seconds"] > 0
+        assert row["compiled_wall_seconds"] > 0
+        assert row["compile_seconds"] >= 0
+        # The mutated row *must* find its violation; the clean rows must not.
+        assert row["ok"] == ("mutation" not in row["params"])
+    # schema v8: every checking row records whether it ran compiled (the
+    # default-on fast path), so throughput trends are attributable
+    for row in smoke_results["model_checking"]:
+        assert row["compiled"] is True
 
 
 def test_bench_is_a_cross_engine_parity_witness(smoke_results):
@@ -137,6 +155,7 @@ def test_write_results_and_summarize(tmp_path, smoke_results):
     assert "chaos recovery" in digest
     assert "store scaling" in digest
     assert "streaming" in digest
+    assert "spec compilation" in digest
     assert "observability" in digest
 
 
